@@ -1,0 +1,58 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation. Each benchmark runs its experiment and, once
+// per process, prints the reproduced table so `go test -bench . | tee
+// bench_output.txt` doubles as the reproduction artifact referenced by
+// EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var printOnce sync.Map
+
+// runExperiment executes an experiment b.N times, printing its table
+// on the first run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Printf("\n%s\n", t)
+		}
+	}
+}
+
+func BenchmarkFigure3Availability(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFigure4Schedules(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkTable3PipelineDepth(b *testing.B)   { runExperiment(b, "table3") }
+func BenchmarkFigure5GPT8B(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFigure6GPT2B(b *testing.B)          { runExperiment(b, "fig6") }
+func BenchmarkFigure7Gantt(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkTable4TwentyB(b *testing.B)         { runExperiment(b, "table4") }
+func BenchmarkBERTLargeAnd200B(b *testing.B)      { runExperiment(b, "bert200b") }
+func BenchmarkScaling(b *testing.B)               { runExperiment(b, "scaling") }
+func BenchmarkTable5GPipe(b *testing.B)           { runExperiment(b, "table5") }
+func BenchmarkTable6Pipelines(b *testing.B)       { runExperiment(b, "table6") }
+func BenchmarkTable7SimAccuracy(b *testing.B)     { runExperiment(b, "table7") }
+func BenchmarkSimulatorSpeed(b *testing.B)        { runExperiment(b, "simspeed") }
+func BenchmarkFigure8Morphing(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkOneVsFourGPUVMs(b *testing.B)       { runExperiment(b, "vmsize") }
+func BenchmarkFigure9Convergence(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFigure10TwoBW(b *testing.B)         { runExperiment(b, "fig10") }
+func BenchmarkSharedStateTracer(b *testing.B)     { runExperiment(b, "tracer") }
+func BenchmarkAblationOpportunistic(b *testing.B) { runExperiment(b, "abl-opportunistic") }
+func BenchmarkAblationMicroBatch(b *testing.B)    { runExperiment(b, "abl-microbatch") }
+func BenchmarkAblationLastStage(b *testing.B)     { runExperiment(b, "abl-laststage") }
+func BenchmarkAblationStraggler(b *testing.B)     { runExperiment(b, "abl-straggler") }

@@ -1,0 +1,50 @@
+// Command varuna-bench regenerates the paper's tables and figures on
+// the reproduction stack.
+//
+// Usage:
+//
+//	varuna-bench            # run everything (slow)
+//	varuna-bench -list      # list experiment ids
+//	varuna-bench -exp fig4  # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exp := flag.String("exp", "", "run a single experiment by id")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	run := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "varuna-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run = []experiments.Entry{e}
+	}
+	for _, e := range run {
+		start := time.Now()
+		t, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varuna-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,70 @@
+// Command varuna-morph replays a spot-VM market against a Varuna job
+// and prints the morphing timeline (the Figure 8 scenario): the manager
+// grows the fleet when capacity appears, reconfigures on preemption,
+// excludes fail-stutter VMs, and checkpoints continuously.
+//
+// Usage:
+//
+//	varuna-morph -model GPT2-2.5B -target 150 -hours 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+)
+
+func main() {
+	modelName := flag.String("model", "GPT2-2.5B", "model name")
+	target := flag.Int("target", 150, "GPUs the manager keeps requesting")
+	hours := flag.Float64("hours", 24, "simulated horizon")
+	batch := flag.Int("batch", 8192, "global mini-batch size")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	var spec *model.Spec
+	for _, s := range model.Zoo() {
+		if s.Name == *modelName {
+			spec = s
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "varuna-morph: unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+
+	cluster := hw.SpotCluster(hw.NC6v3, *target)
+	job, err := core.NewJob(spec, cluster, *batch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-morph:", err)
+		os.Exit(1)
+	}
+	mk := spot.NewMarket(1, *target*4/5, *seed+1)
+	horizon := simtime.FromSeconds(*hours * 3600)
+	points, stats, err := job.RunOnSpotMarket(mk, *target, horizon, *seed+2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-morph:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-8s %-6s %-10s %-12s %-10s %s\n", "time", "GPUs", "config", "total ex/s", "ex/s/GPU", "event")
+	for _, p := range points {
+		cfg, per := "-", "-"
+		if p.Config.GPUsUsed > 0 {
+			cfg = fmt.Sprintf("%dx%d", p.Config.P, p.Config.D)
+			per = fmt.Sprintf("%.2f", p.ExPerSec/float64(p.Config.GPUsUsed))
+		}
+		fmt.Printf("%-8s %-6d %-10s %-12.1f %-10s %s\n",
+			fmt.Sprintf("%.1fh", p.At.Hours()), p.GPUs, cfg, p.ExPerSec, per, p.Event)
+	}
+	fmt.Printf("\n%d mini-batches (%.2fM examples), %d morphs, %d replacements, %d preemptions, %d stragglers excluded\n",
+		stats.MiniBatches, stats.Examples/1e6, stats.Morphs, stats.Replacements, stats.Preemptions, stats.StragglersExcluded)
+	fmt.Printf("%d checkpoints, %d mini-batches lost to rollbacks, %v downtime\n",
+		stats.Checkpoints, stats.LostMiniBatches, stats.Downtime)
+}

@@ -1,0 +1,99 @@
+// Command varuna-sim runs Varuna's auto-configuration for a model on a
+// GPU fleet: it calibrates once, sweeps pipeline depths through the
+// parametrized simulator (§4.4), and prints the predicted throughput of
+// every feasible configuration plus the chosen one.
+//
+// Usage:
+//
+//	varuna-sim -model gpt2-8.3b -gpus 128 -batch 8192
+//	varuna-sim -model gpt2-2.5b -gpus 100 -vm 4      # 4-GPU VMs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func specByName(name string) (*model.Spec, bool) {
+	for _, s := range model.Zoo() {
+		if strings.EqualFold(s.Name, name) ||
+			strings.EqualFold(strings.ReplaceAll(s.Name, "GPT2-", "gpt2-"), name) {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func main() {
+	modelName := flag.String("model", "GPT2-2.5B", "model name (see model zoo)")
+	gpus := flag.Int("gpus", 100, "available GPUs")
+	batch := flag.Int("batch", 8192, "global mini-batch size")
+	vmSize := flag.Int("vm", 1, "GPUs per spot VM (1 or 4)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	spec, ok := specByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "varuna-sim: unknown model %q; available:\n", *modelName)
+		for _, s := range model.Zoo() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(1)
+	}
+	vm := hw.NC6v3
+	if *vmSize == 4 {
+		vm = hw.NC24v3
+	}
+	cluster := hw.SpotCluster(vm, *gpus)
+
+	fmt.Printf("model:   %s\n", spec)
+	fmt.Printf("cluster: %s (%d GPUs, %s inter-node)\n", cluster.Name, cluster.NumGPUs(), cluster.Inter.Kind)
+	fmt.Printf("batch:   %d examples/mini-batch\n\n", *batch)
+
+	job, err := core.NewJob(spec, cluster, *batch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("calibrated %d cut-points; micro-batch sweet spot m=%d\n\n",
+		len(job.CutPoints()), job.Calibration().PickMicroSize(0.05))
+
+	sweep, err := job.Sweep(*gpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-10s %-4s %-6s %-12s %-10s %s\n", "config", "m", "Nm", "est/batch", "total ex/s", "ex/s/GPU")
+	best := sweep[0]
+	for _, c := range sweep {
+		marker := ""
+		if c.TotalExPerSec() > best.TotalExPerSec() {
+			best = c
+		}
+		fmt.Printf("%-10s %-4d %-6d %-12v %-10.1f %.2f%s\n",
+			fmt.Sprintf("%dx%d", c.P, c.D), c.M, c.Nm, c.Est, c.TotalExPerSec(), c.ExPerSecPerGPU(), marker)
+	}
+	fmt.Printf("\nchosen: %v → %.1f ex/s on %d GPUs\n", best, best.TotalExPerSec(), best.GPUsUsed)
+
+	ms, err := job.Measure(best)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured: %v per mini-batch (%.1f ex/s) — simulator error %.1f%%\n",
+		ms.MiniBatchTime, ms.ExPerSec(),
+		100*abs(best.Est.Seconds()-ms.MiniBatchTime.Seconds())/ms.MiniBatchTime.Seconds())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+// Command varuna-train runs the real numeric training engine: a small
+// GPT trained with genuine pipeline + data parallelism over goroutine
+// stages, demonstrating the semantics Varuna preserves — identical
+// trajectories across (P, D, m) shapes, checkpointed morphing, and
+// tracer-synchronized tied weights.
+//
+// Usage:
+//
+//	varuna-train -p 3 -d 2 -steps 100
+//	varuna-train -p 2 -d 1 -morph-at 50 -morph-p 4   # morph mid-run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+func main() {
+	p := flag.Int("p", 3, "pipeline depth")
+	d := flag.Int("d", 1, "data-parallel width")
+	m := flag.Int("m", 8, "micro-batch size")
+	batch := flag.Int("batch", 64, "global mini-batch size")
+	steps := flag.Int("steps", 100, "mini-batches to train")
+	lr := flag.Float64("lr", 3e-3, "Adam learning rate")
+	morphAt := flag.Int("morph-at", 0, "checkpoint and morph after this step (0 = never)")
+	morphP := flag.Int("morph-p", 2, "pipeline depth after the morph")
+	morphD := flag.Int("morph-d", 1, "data-parallel width after the morph")
+	flag.Parse()
+
+	gpt := nn.GPTConfig{Vocab: 24, Dim: 24, SeqLen: 12, Layers: 4, MLPMult: 2, Seed: 99}
+	cfg := engine.Config{GPT: gpt, P: *p, D: *d, MicroBatch: *m, BatchSize: *batch, LR: *lr, DataSeed: 7}
+	e, err := engine.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("training char-GPT (%d layers, dim %d) at %dx%d, m=%d, batch %d\n",
+		gpt.Layers, gpt.Dim, *p, *d, *m, *batch)
+	if shared := e.SharedParamNames(); len(shared) > 0 {
+		fmt.Printf("tracer: cross-partition shared parameters: %v (synchronized every mini-batch)\n", shared)
+	}
+
+	report := func(step int, loss float64) {
+		if step%10 == 0 || step == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f\n", step+1, loss)
+		}
+	}
+	for i := 0; i < *steps; i++ {
+		if *morphAt > 0 && i == *morphAt {
+			store := checkpoint.NewMemStore()
+			if err := e.Save(store); err != nil {
+				fmt.Fprintln(os.Stderr, "varuna-train:", err)
+				os.Exit(1)
+			}
+			next := cfg
+			next.P, next.D = *morphP, *morphD
+			e, err = engine.Resume(next, store)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "varuna-train:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- morphed %dx%d → %dx%d at step %d (per-layer checkpoint resume) --\n",
+				*p, *d, *morphP, *morphD, i)
+		}
+		report(i, e.Step())
+	}
+	fmt.Printf("held-out loss: %.4f\n", e.Eval(4))
+}

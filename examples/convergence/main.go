@@ -1,0 +1,79 @@
+// Convergence: the semantic guarantees, demonstrated with real
+// arithmetic. A small GPT trains under several (P, D, m) shapes with
+// the same global batch — every trajectory is identical (correctness-
+// preserving morphing, §4.2). A mid-run checkpoint morph does not
+// perturb the loss. Tied embedding weights stay consistent across
+// partitions because the tracer-mandated sync runs (§5.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+func main() {
+	gpt := nn.GPTConfig{Vocab: 24, Dim: 24, SeqLen: 12, Layers: 4, MLPMult: 2, Seed: 99}
+	base := engine.Config{GPT: gpt, MicroBatch: 8, BatchSize: 48, LR: 3e-3, DataSeed: 7}
+
+	// 1. Morphing invariance: same M_total, different shapes.
+	fmt.Println("1) one global batch, three cluster shapes — identical training:")
+	shapes := []struct{ p, d, m int }{{1, 1, 48}, {3, 2, 8}, {6, 1, 4}}
+	var ref []float64
+	for _, s := range shapes {
+		cfg := base
+		cfg.P, cfg.D, cfg.MicroBatch = s.p, s.d, s.m
+		e, err := engine.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		losses := e.Losses(6)
+		if ref == nil {
+			ref = losses
+		}
+		var worst float64
+		for i := range losses {
+			if d := math.Abs(losses[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("   %dx%d m=%-2d  losses %.6f → %.6f   max|Δ| vs reference: %.1e\n",
+			s.p, s.d, s.m, losses[0], losses[len(losses)-1], worst)
+	}
+
+	// 2. Checkpointed morph mid-run.
+	fmt.Println("\n2) checkpoint at step 5, resume on a different shape:")
+	cfg := base
+	cfg.P, cfg.D = 3, 2
+	a, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pre := a.Losses(5)
+	store := checkpoint.NewMemStore()
+	if err := a.Save(store); err != nil {
+		log.Fatal(err)
+	}
+	cfg2 := base
+	cfg2.P, cfg2.D = 2, 3
+	b, err := engine.Resume(cfg2, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post := b.Losses(5)
+	fmt.Printf("   3x2 steps 1-5:  %.6f → %.6f\n", pre[0], pre[4])
+	fmt.Printf("   2x3 steps 6-10: %.6f → %.6f (trajectory continues seamlessly)\n", post[0], post[4])
+
+	// 3. The tracer's finding and why it matters.
+	fmt.Println("\n3) tracer: tied weights across partitions:")
+	e, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   shared across stages: %v — allreduced every mini-batch\n", e.SharedParamNames())
+	fmt.Println("   (run the §5.2 ablation in varuna-bench -exp tracer to see the drift without it)")
+}

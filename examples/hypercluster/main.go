@@ -1,0 +1,83 @@
+// Hypercluster: the paper's headline comparison (Figure 5). Varuna on
+// cheap spot VMs versus Megatron's intra-layer partitioning on both
+// commodity VMs and a dedicated DGX-2 hypercluster — including the
+// cost-performance accounting that motivates the whole system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/netsim"
+)
+
+func main() {
+	spec := model.GPT2Megatron8B()
+	const miniBatch = 8192
+	const gpus = 128
+
+	spotCluster := hw.SpotCluster(hw.NC24v3, gpus)
+	hcCluster := hw.Hypercluster(8) // 8 DGX-2 = 128 GPUs
+
+	// Varuna on spot VMs.
+	spotJob, err := core.NewJob(spec, spotCluster, miniBatch, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := spotJob.Configure(18, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := spotJob.Measure(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	varunaSpot := ms.ExPerSec() / float64(cfg.GPUsUsed)
+
+	// Varuna on the hypercluster.
+	hcJob, err := core.NewJob(spec, hcCluster, miniBatch, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcCfg, err := hcJob.Configure(18, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcMs, err := hcJob.Measure(hcCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	varunaHC := hcMs.ExPerSec() / float64(hcCfg.GPUsUsed)
+
+	// Megatron on both.
+	megSpot, megSpotT, err := baselines.BestMegatron(spec, gpus, 4, miniBatch, spotCluster, netsim.New(1.3), compute.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	megSpotEx := float64(miniBatch) / megSpotT.Seconds() / float64(megSpot.GPUs())
+	megHCCfg, megHCT, err := baselines.BestMegatron(spec, gpus, 4, miniBatch, hcCluster, netsim.New(1), compute.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	megHCEx := float64(miniBatch) / megHCT.Seconds() / float64(megHCCfg.GPUs())
+
+	spotCost := spotCluster.GPUHourCost()
+	hcCost := hcCluster.GPUHourCost()
+
+	fmt.Printf("GPT-2 8.3B, mini-batch %d, %d GPUs\n\n", miniBatch, gpus)
+	fmt.Printf("%-28s %-12s %-12s %s\n", "system", "ex/s/GPU", "$/GPU-hour", "ex per dollar")
+	row := func(name string, ex, cost float64) {
+		fmt.Printf("%-28s %-12.3f %-12.2f %.0f\n", name, ex, cost, ex*3600/cost)
+	}
+	row("Varuna on spot VMs", varunaSpot, spotCost)
+	row("Varuna on hypercluster", varunaHC, hcCost)
+	row(fmt.Sprintf("Megatron on spot (%d-way)", megSpot.MP), megSpotEx, spotCost)
+	row(fmt.Sprintf("Megatron on hypercluster (%d-way)", megHCCfg.MP), megHCEx, hcCost)
+	fmt.Printf("\nVaruna(spot) vs Megatron(spot):         %.1fx faster\n", varunaSpot/megSpotEx)
+	fmt.Printf("Varuna(spot) vs Megatron(hypercluster): %.2fx the throughput at ~1/5 the price\n", varunaSpot/megHCEx)
+}

@@ -1,0 +1,72 @@
+// Quickstart: train a massive model on whatever spot GPUs you can get.
+//
+// This example walks the full Varuna flow on the 8.3B GPT-2: identify
+// cut-points, calibrate once, let the simulator pick the configuration
+// for the fleet you have, execute a mini-batch, and re-configure when
+// the fleet shrinks — without touching hyper-parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+func main() {
+	spec := model.GPT2Megatron8B()
+	cluster := hw.SpotCluster(hw.NC6v3, 128) // 128 spot 1-GPU V100 VMs
+	const miniBatch = 8192
+
+	fmt.Printf("model: %s\n", spec)
+	fmt.Printf("fleet: %d×%s on %s\n\n", cluster.NumGPUs(), cluster.VM.Name, cluster.Inter.Kind)
+
+	// One-time setup: cut-point identification (§5.1) and
+	// scale-invariant calibration (§4.3). Neither depends on the
+	// fleet size, so morphing never repeats this.
+	job, err := core.NewJob(spec, cluster, miniBatch, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("setup: %d cut-points, micro-batch sweet spot m=%d\n\n",
+		len(job.CutPoints()), job.Calibration().PickMicroSize(0.05))
+
+	// Auto-configuration (§4.4): sweep pipeline depths through the
+	// parametrized simulator and pick the fastest.
+	best, err := job.BestConfig(128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen config for 128 GPUs: %v\n", best)
+
+	// Execute one mini-batch on the cluster and compare with the
+	// simulator's prediction.
+	ms, err := job.Measure(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: %v per mini-batch = %.1f ex/s (%.2f ex/s/GPU)\n",
+		ms.MiniBatchTime, ms.ExPerSec(), ms.ExPerSec()/float64(best.GPUsUsed))
+	est, err := job.Estimate(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator predicted %v — the Table 7 property\n\n", est)
+
+	// Preemption strikes: 35 VMs vanish. Morph to 93 GPUs. The global
+	// mini-batch stays 8192 — gradient accumulation absorbs the loss
+	// of replicas (§4.2), so training semantics are unchanged.
+	shrunk, err := job.BestConfig(93)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms2, err := job.Measure(shrunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after preemption, 93 GPUs: %v → %.1f ex/s (%.2f ex/s/GPU)\n",
+		shrunk, ms2.ExPerSec(), ms2.ExPerSec()/float64(shrunk.GPUsUsed))
+	fmt.Printf("effective batch unchanged: %d → %d examples\n", best.Examples, shrunk.Examples)
+}

@@ -1,0 +1,269 @@
+// Package autoconfig implements Varuna's job morphing (§4.2–§4.4): on
+// every change in available GPUs it re-derives the best-performing
+// (P, D, m, Nm) configuration by sweeping pipeline depths through the
+// parametrized simulator, while keeping the user's global mini-batch
+// size M_total fixed — the correctness-preserving property that lets a
+// running job reshape without touching hyper-parameters. Gradient
+// accumulation absorbs the slack: when fewer GPUs are available the
+// per-GPU micro-batch count Nm grows instead of the learning dynamics
+// changing.
+package autoconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/calibrate"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Inputs is everything morphing needs that does not change with G.
+type Inputs struct {
+	// Spec is the model being trained.
+	Spec *model.Spec
+	// Cuts are the identified cut-points (§5.1).
+	Cuts []model.CutPoint
+	// Params is the one-time scale-invariant calibration (§4.3).
+	Params *calibrate.Params
+	// GPUMem is the per-device memory.
+	GPUMem int64
+	// MTotal is the user's global mini-batch size, invariant across
+	// morphs (§4.2).
+	MTotal int
+	// GPUsPerNode drives placement: which stage boundaries cross
+	// nodes and how many allreduces share a NIC.
+	GPUsPerNode int
+}
+
+// Choice is one evaluated configuration.
+type Choice struct {
+	// P is pipeline depth, D data-parallel width.
+	P, D int
+	// M is the micro-batch size, Nm the micro-batches per replica.
+	M, Nm int
+	// Stages is the cut-point grouping for this depth.
+	Stages []model.Stage
+	// Est is the simulator's predicted mini-batch time.
+	Est simtime.Duration
+	// GPUsUsed is P·D (≤ G when G is not a multiple of P).
+	GPUsUsed int
+	// Examples is the effective mini-batch (m·Nm·D), kept as close to
+	// MTotal as divisibility allows.
+	Examples int
+}
+
+// TotalExPerSec is the configuration's whole-job throughput.
+func (c Choice) TotalExPerSec() float64 {
+	if c.Est <= 0 {
+		return 0
+	}
+	return float64(c.Examples) / c.Est.Seconds()
+}
+
+// ExPerSecPerGPU normalizes throughput by GPUs used.
+func (c Choice) ExPerSecPerGPU() float64 {
+	if c.GPUsUsed == 0 {
+		return 0
+	}
+	return c.TotalExPerSec() / float64(c.GPUsUsed)
+}
+
+// String renders the configuration the way the paper writes it (P×D).
+func (c Choice) String() string {
+	return fmt.Sprintf("%dx%d (m=%d, Nm=%d, est %v)", c.P, c.D, c.M, c.Nm, c.Est)
+}
+
+// GradAccum computes the micro-batch count that preserves M_total for a
+// given micro-batch size and data-parallel width: Nm = ⌈M/(m·D)⌉. This
+// is the §4.2 accumulation rule — shrinking resources grow Nm, never
+// the hyper-parameters.
+func GradAccum(mTotal, m, d int) int {
+	nm := (mTotal + m*d - 1) / (m * d)
+	if nm < 1 {
+		nm = 1
+	}
+	return nm
+}
+
+// interFlags marks the stage boundaries that cross nodes when p stages
+// are packed onto nodes of gpusPerNode GPUs.
+func interFlags(p, gpusPerNode int) []bool {
+	flags := make([]bool, p)
+	for i := 0; i < p-1; i++ {
+		flags[i] = gpusPerNode <= 1 || (i+1)%gpusPerNode == 0
+	}
+	return flags
+}
+
+// Evaluate builds and simulates a single (P, D) candidate, choosing the
+// micro-batch size jointly: m trades kernel efficiency (bigger is
+// better, §4.1) against pipeline efficiency (bigger m means fewer
+// micro-batches and more bubble — constraint 3 of Figure 2). Every
+// memory-feasible profiled size up to the kernel sweet spot is
+// simulated and the fastest wins.
+func Evaluate(in Inputs, p, d int) (Choice, error) {
+	if p < 1 || d < 1 {
+		return Choice{}, fmt.Errorf("autoconfig: bad shape %dx%d", p, d)
+	}
+	stages, err := model.Partition(in.Spec, in.Cuts, p, true)
+	if err != nil {
+		return Choice{}, err
+	}
+	sweet := in.Params.PickMicroSize(0.05)
+	candidates := pruneMicroSizes(in, stages, p, d, sweet)
+	var best Choice
+	found := false
+	for _, m := range candidates {
+		nm := GradAccum(in.MTotal, m, d)
+		if !fits(in, stages, m, nm, p) {
+			continue
+		}
+		costs, err := in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+		if err != nil {
+			return Choice{}, err
+		}
+		est, err := sim.EstimateMakespan(sim.Config{
+			Depth:  p,
+			Micros: nm,
+			Policy: schedule.Varuna,
+			Costs:  costs,
+		})
+		if err != nil {
+			return Choice{}, err
+		}
+		c := Choice{
+			P: p, D: d, M: m, Nm: nm,
+			Stages:   stages,
+			Est:      est,
+			GPUsUsed: p * d,
+			Examples: m * nm * d,
+		}
+		if !found || c.TotalExPerSec() > best.TotalExPerSec() {
+			best = c
+			found = true
+		}
+	}
+	if !found {
+		return Choice{}, fmt.Errorf("autoconfig: %s does not fit at P=%d on this GPU memory", in.Spec.Name, p)
+	}
+	return best, nil
+}
+
+// pruneMicroSizes ranks the memory-feasible profiled micro-batch sizes
+// by an analytic throughput score — kernel time per example times the
+// fill/drain bubble factor — and keeps the top three for simulation.
+// The score orders candidates well enough that simulating the rest is
+// wasted work during a morph, where decision latency matters (§7.2).
+func pruneMicroSizes(in Inputs, stages []model.Stage, p, d, sweet int) []int {
+	type scored struct {
+		m     int
+		score float64
+	}
+	var cands []scored
+	for _, m := range in.Params.MicroSizes {
+		if m > sweet {
+			break
+		}
+		nm := GradAccum(in.MTotal, m, d)
+		if !fits(in, stages, m, nm, p) {
+			continue
+		}
+		perExample := in.Params.PerExampleFwdAt(m)
+		bubble := float64(nm) / float64(nm+p-1)
+		cands = append(cands, scored{m: m, score: bubble / perExample})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	if len(cands) > 3 {
+		cands = cands[:3]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.m
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fits checks every stage of the partition against GPU memory.
+func fits(in Inputs, stages []model.Stage, m, nm, p int) bool {
+	for _, st := range stages {
+		mm := model.MemoryModel{Spec: in.Spec, Stage: st, WeightCopies: 1}
+		if !mm.Fits(m, nm, p, in.GPUMem) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sweep evaluates every feasible pipeline depth for g GPUs, in O(G)
+// total simulator invocations (§4.4): P runs from the smallest depth
+// where the model fits up to the number of cut-points, one balanced
+// cut-point assignment per depth.
+func Sweep(in Inputs, g int) ([]Choice, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("autoconfig: no GPUs")
+	}
+	maxP := len(in.Cuts) + 1
+	if maxP > g {
+		maxP = g
+	}
+	// For a fixed data-parallel width D the deepest pipeline that the
+	// cut-points allow, P = min(⌊G/D⌋, maxP), strictly dominates
+	// shallower ones at the same D: same allreduce cost, fewer idle
+	// GPUs. Sweeping the distinct D values therefore covers the
+	// configuration space in O(G/P_min) simulator calls instead of
+	// O(maxP) — the §4.4 exploration bound.
+	var out []Choice
+	seen := make(map[int]bool)
+	for d := 1; d <= g; d++ {
+		p := g / d
+		if p > maxP {
+			p = maxP
+		}
+		if p < 1 {
+			break
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		c, err := Evaluate(in, p, g/p)
+		if err != nil {
+			continue // does not fit at this depth; deeper may
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("autoconfig: %s does not fit on %d×%s GPUs", in.Spec.Name, g, humanBytes(in.GPUMem))
+	}
+	return out, nil
+}
+
+// Best picks the highest-total-throughput configuration for g GPUs.
+func Best(in Inputs, g int) (Choice, error) {
+	sweep, err := Sweep(in, g)
+	if err != nil {
+		return Choice{}, err
+	}
+	best := sweep[0]
+	for _, c := range sweep[1:] {
+		if c.TotalExPerSec() > best.TotalExPerSec() {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

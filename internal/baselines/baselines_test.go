@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/netsim"
+)
+
+var (
+	cost   = compute.Default()
+	fabric = netsim.New(1.3)
+)
+
+func TestMegatronMemoryBoundary(t *testing.T) {
+	// Table 4: Megatron fits 19.2B at 16-way on 16GB V100s but not 20B.
+	gpuMem := int64(16) << 30
+	if !MegatronMemoryFeasible(model.GPT2Twenty19B().Params(), 16, gpuMem) {
+		t.Fatal("19.2B must fit 16-way")
+	}
+	if MegatronMemoryFeasible(model.GPT2Twenty20B().Params(), 16, gpuMem) {
+		t.Fatal("20B must NOT fit 16-way")
+	}
+	if !MegatronMemoryFeasible(model.GPT2Twenty20B().Params(), 32, gpuMem) {
+		t.Fatal("20B must fit 32-way")
+	}
+	// 8.3B runs 8-way (the paper's Megatron baseline).
+	if !MegatronMemoryFeasible(model.GPT2Megatron8B().Params(), 8, gpuMem) {
+		t.Fatal("8.3B must fit 8-way")
+	}
+}
+
+func TestMegatronTrafficMatchesPaper(t *testing.T) {
+	// Observation 1: intra-layer traffic ≈ 2.4 GB/example/GPU for the
+	// 2.5B model (54 layers × 6 allreduces × 2·(d−1)/d ≈ 2 × 4·S·H bytes).
+	spec := model.GPT2XL2B()
+	payload := float64(2 * spec.SeqLen * spec.Hidden) // S×H fp16 tensor
+	wirePerAR := payload * 2 * 7 / 8                  // ring factor at mp=8
+	total := wirePerAR * 6 * float64(spec.NumLayers)
+	gb := total / (1 << 30)
+	if gb < 2.0 || gb > 3.0 {
+		t.Fatalf("intra-layer traffic %.2f GB/example, paper says ≈2.4", gb)
+	}
+}
+
+func TestMegatronCommodityCollapse(t *testing.T) {
+	// Figure 5's 18x: Megatron 8-way on 4-GPU commodity VMs forces
+	// intra-layer allreduce over ethernet, collapsing throughput
+	// relative to the same config on a DGX-2's NVLink.
+	spec := model.GPT2Megatron8B()
+	c := MegatronConfig{Spec: spec, MP: 8, D: 8, M: 4, MTotal: 8192}
+	spotT, err := MegatronTime(c, hw.SpotCluster(hw.NC24v3, 64), fabric, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcT, err := MegatronTime(c, hw.Hypercluster(4), netsim.New(1), cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(spotT) / float64(hcT)
+	if ratio < 5 {
+		t.Fatalf("commodity/hypercluster ratio %.1f — expected an order-of-magnitude collapse", ratio)
+	}
+}
+
+func TestMegatron18WayCliff(t *testing.T) {
+	// Table 4: forcing 20B onto the hypercluster needs >16-way
+	// partitioning, which crosses DGX-2 boundaries and drops
+	// performance ~10x versus 16-way of the 19.2B model.
+	hc := hw.Hypercluster(16)
+	f := netsim.New(1)
+	ok19, err := MegatronTime(MegatronConfig{Spec: model.GPT2Twenty19B(), MP: 16, D: 16, M: 1, MTotal: 8192}, hc, f, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced20, err := MegatronTime(MegatronConfig{Spec: model.GPT2Twenty20B(), MP: 32, D: 8, M: 1, MTotal: 8192}, hc, f, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~10x (0.112 → 0.015 ex/s/GPU); our fabric
+	// model reproduces the cliff's direction at a smaller magnitude
+	// (IB is "only" 7x slower than NVLink here), so assert ≥2x.
+	ratio := float64(forced20) / float64(ok19)
+	if ratio < 2 {
+		t.Fatalf("cross-node intra-layer must collapse: ratio %.1f", ratio)
+	}
+}
+
+func TestMegatronErrors(t *testing.T) {
+	spec := model.GPT2Megatron8B()
+	if _, err := MegatronTime(MegatronConfig{Spec: spec, MP: 0, D: 1, M: 1, MTotal: 64}, hw.Hypercluster(1), fabric, cost); err == nil {
+		t.Fatal("MP=0 must fail")
+	}
+	// 8.3B OOMs at 2-way.
+	if _, err := MegatronTime(MegatronConfig{Spec: spec, MP: 2, D: 1, M: 1, MTotal: 64}, hw.Hypercluster(1), fabric, cost); err == nil {
+		t.Fatal("8.3B at 2-way must OOM")
+	}
+}
+
+func TestDataParallelBERT(t *testing.T) {
+	// BERT-large fits a single GPU; data parallel works and scales.
+	spec := model.BERTLarge()
+	cluster := hw.SpotCluster(hw.NC24v3, 32)
+	t32, err := DataParallelTime(spec, 32, 8, 32768, cluster, fabric, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := DataParallelTime(spec, 8, 8, 32768, cluster, fabric, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t32 >= t8 {
+		t.Fatalf("more GPUs must be faster: 32 GPUs %v vs 8 GPUs %v", t32, t8)
+	}
+	// Throughput plausibility: paper reports ~700 ex/s for BERT-large
+	// pretraining at seq 512 on 32 GPUs (Varuna 4x8 = 710).
+	exps := 32768 / t32.Seconds()
+	if exps < 200 || exps > 3000 {
+		t.Fatalf("BERT-large DP throughput %.0f ex/s implausible", exps)
+	}
+}
+
+func TestDataParallelOOM(t *testing.T) {
+	// 2.5B cannot data-parallel on 16GB GPUs (needs 40GB of state).
+	if _, err := DataParallelTime(model.GPT2XL2B(), 8, 4, 8192, hw.SpotCluster(hw.NC6v3, 8), fabric, cost); err == nil {
+		t.Fatal("2.5B pure data parallel must OOM")
+	}
+	if _, err := DataParallelTime(model.BERTLarge(), 0, 4, 8192, hw.SpotCluster(hw.NC6v3, 8), fabric, cost); err == nil {
+		t.Fatal("G=0 must fail")
+	}
+}
+
+func TestBestMegatronPicksNodeLocal(t *testing.T) {
+	// On the hypercluster, the best 8.3B config keeps the instance
+	// inside one DGX-2 (mp ≤ 16).
+	best, tm, err := BestMegatron(model.GPT2Megatron8B(), 256, 4, 8192, hw.Hypercluster(16), netsim.New(1), cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.MP > 16 {
+		t.Fatalf("best MP %d crosses DGX-2 boundary", best.MP)
+	}
+	if tm <= 0 {
+		t.Fatal("time must be positive")
+	}
+	// Infeasible everywhere → error.
+	if _, _, err := BestMegatron(model.GPT2TwoHundredB(), 8, 1, 512, hw.SpotCluster(hw.NC6v3, 8), fabric, cost); err == nil {
+		t.Fatal("200B on 8 GPUs must be infeasible")
+	}
+}
+
+func TestVarunaBeatsMegatronOnHypercluster(t *testing.T) {
+	// §7.1.1: even on the hypercluster, Varuna's pipeline parallelism
+	// outperforms intra-layer Megatron (25-48%). Compare mini-batch
+	// times for the 8.3B model on 256 hypercluster GPUs.
+	hc := hw.Hypercluster(16)
+	f := netsim.New(1)
+	_, megT, err := BestMegatron(model.GPT2Megatron8B(), 256, 4, 8192, hc, f, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rough Varuna equivalent from the paper's hypercluster ex/s/GPU
+	// is exercised end-to-end in the experiments package; here just
+	// assert Megatron's hypercluster time is in a sane band so the
+	// comparison there is meaningful.
+	exPerSecPerGPU := 8192 / megT.Seconds() / 256
+	if exPerSecPerGPU < 0.1 || exPerSecPerGPU > 2.0 {
+		t.Fatalf("Megatron HC %.3f ex/s/GPU outside plausible band (paper: 0.48)", exPerSecPerGPU)
+	}
+}

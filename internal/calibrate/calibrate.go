@@ -1,0 +1,388 @@
+// Package calibrate implements Varuna's scale-invariant calibration
+// (§4.3): a one-time profiling pass that measures the small set of
+// primitive parameters in Table 2 — per-cut-point forward/backward
+// compute times F_i(m), B_i(m), activation/gradient transfer latencies
+// intra- and cross-node, and gradient allreduce times AR_i(D) with k
+// allreduces in flight. The parameters are (a) mutually orthogonal, so
+// they can be measured in parallel; (b) agnostic to the end-to-end
+// configuration; and (c) independent of the total GPU count, so
+// calibration happens once at job start and survives every morph.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Bench abstracts the hardware being profiled. The testbed implements
+// it by sampling its ground-truth cost models with measurement noise —
+// the role real GPUs and NICs play for the paper's profiler.
+type Bench interface {
+	// OpForward measures the raw forward kernel time of op at
+	// micro-batch size m, overhead excluded.
+	OpForward(op model.Op, m int) simtime.Duration
+	// OpBackward measures the raw backward kernel time.
+	OpBackward(op model.Op, m int) simtime.Duration
+	// Overhead measures fixed per-task launch overhead.
+	Overhead() simtime.Duration
+	// Transfer measures a point-to-point transfer of n bytes,
+	// returning the observed mean and jitter coefficient.
+	Transfer(n int64, inter bool) (mean simtime.Duration, cv float64)
+	// AllReduce measures a ring allreduce of n bytes per member over d
+	// members with inFlight concurrent rings per NIC.
+	AllReduce(n int64, d, inFlight int) simtime.Duration
+	// Optimizer measures the weight-update time for n parameters.
+	Optimizer(n int64) simtime.Duration
+	// DeviceSpread measures the persistent speed spread across the
+	// fleet's devices (coefficient of variation), observed by running
+	// the same kernel on many GPUs. Synchronous training runs at the
+	// slowest replica's pace, so the simulator folds the expected
+	// max-of-D factor into stage times.
+	DeviceSpread() float64
+}
+
+// NetParams carries the measured network characteristics.
+type NetParams struct {
+	IntraLatency simtime.Duration
+	InterLatency simtime.Duration
+	IntraBps     float64
+	InterBps     float64
+	// JitterCV is the observed coefficient of variation on the
+	// inter-node path, fed to the simulator (§3.1, Observation 3).
+	JitterCV float64
+}
+
+// Transfer predicts a point-to-point transfer time from the measured
+// latency and bandwidth.
+func (n NetParams) Transfer(bytes int64, inter bool) simtime.Duration {
+	lat, bps := n.IntraLatency, n.IntraBps
+	if inter {
+		lat, bps = n.InterLatency, n.InterBps
+	}
+	if bps <= 0 {
+		return lat
+	}
+	return lat + simtime.FromSeconds(float64(bytes)/bps)
+}
+
+// ARParams is the fitted allreduce model, mirroring the deployment's
+// hierarchical placement: replicas of a stage pack into nodes, so an
+// allreduce of d members is an intra-node ring (up to GPUsPerNode)
+// followed by one cross-node ring over the node groups. Each phase is
+// the bandwidth-optimal ring — 2(d−1) latency steps plus 2(d−1)/d
+// per-byte serialization — with the cross-node phase inflated by the
+// ring-step straggler factor (every synchronized step runs at its
+// slowest member's pace; the expected max of d jittered hops grows as
+// 1 + cv·√(2·ln d)).
+type ARParams struct {
+	GPUsPerNode int
+	// Intra-node phase fit (zero when GPUsPerNode ≤ 1).
+	IntraStepLatency simtime.Duration
+	IntraPerByteSec  float64
+	// Cross-node phase fit.
+	InterStepLatency simtime.Duration
+	InterPerByteSec  float64
+	// JitterCV drives the cross-node straggler factor.
+	JitterCV float64
+}
+
+// stragglerFactor mirrors netsim.RingStragglerFactor (duplicated to
+// keep calibration free of the ground-truth package).
+func stragglerFactor(d int, cv float64) float64 {
+	if d < 2 || cv <= 0 {
+		return 1
+	}
+	return 1 + cv*math.Sqrt(2*math.Log(float64(d)))
+}
+
+// ringTime evaluates one ring phase.
+func ringTime(n int64, d int, step simtime.Duration, perByte, cv float64) simtime.Duration {
+	if d <= 1 || n <= 0 {
+		return 0
+	}
+	wire := float64(n) * 2 * float64(d-1) / float64(d)
+	ser := wire * perByte * stragglerFactor(d, cv)
+	return simtime.Duration(int64(step)*int64(2*(d-1))) + simtime.FromSeconds(ser)
+}
+
+// Time predicts the allreduce of n bytes over d members.
+func (a ARParams) Time(n int64, d int) simtime.Duration {
+	if d <= 1 || n <= 0 {
+		return 0
+	}
+	gpn := a.GPUsPerNode
+	if gpn <= 1 {
+		return ringTime(n, d, a.InterStepLatency, a.InterPerByteSec, a.JitterCV)
+	}
+	if d <= gpn {
+		return ringTime(n, d, a.IntraStepLatency, a.IntraPerByteSec, 0)
+	}
+	local := gpn
+	if d%gpn != 0 {
+		local = d % gpn
+		if local < 2 {
+			local = gpn
+		}
+	}
+	return ringTime(n, local, a.IntraStepLatency, a.IntraPerByteSec, 0) +
+		ringTime(n, (d+gpn-1)/gpn, a.InterStepLatency, a.InterPerByteSec, a.JitterCV)
+}
+
+// Params is the complete calibration output.
+type Params struct {
+	// SpecName records the profiled model.
+	SpecName string
+	// MicroSizes are the profiled micro-batch sizes, ascending.
+	MicroSizes []int
+	// FwdOp[m][i] is the raw forward time of op i at micro-batch size m.
+	FwdOp map[int][]simtime.Duration
+	// BwdOp[m][i] is the raw backward time.
+	BwdOp map[int][]simtime.Duration
+	// Overhead is the per-task launch overhead.
+	Overhead simtime.Duration
+	// PerParamOptSec is the optimizer time per parameter, in seconds.
+	PerParamOptSec float64
+	// DeviceSpreadCV is the measured per-device speed spread.
+	DeviceSpreadCV float64
+	// Net is the measured network profile.
+	Net NetParams
+	// AR is the fitted allreduce model.
+	AR ARParams
+}
+
+// Options tunes a calibration run.
+type Options struct {
+	// MicroSizes to profile; default {1,2,4,8,16,32}.
+	MicroSizes []int
+	// ARProbeBytes is the payload for allreduce probing; default 64 MiB.
+	ARProbeBytes int64
+	// GPUsPerNode describes the placement hierarchy (1 for 1-GPU VMs).
+	GPUsPerNode int
+}
+
+func (o *Options) fill() {
+	if len(o.MicroSizes) == 0 {
+		o.MicroSizes = []int{1, 2, 4, 8, 16, 32}
+	}
+	if o.ARProbeBytes <= 0 {
+		o.ARProbeBytes = 64 << 20
+	}
+	if o.GPUsPerNode < 1 {
+		o.GPUsPerNode = 1
+	}
+}
+
+// Run profiles spec on bench and returns the calibrated parameters.
+func Run(spec *model.Spec, bench Bench, opts Options) (*Params, error) {
+	if spec == nil || len(spec.Ops) == 0 {
+		return nil, fmt.Errorf("calibrate: empty model spec")
+	}
+	opts.fill()
+	sizes := append([]int(nil), opts.MicroSizes...)
+	sort.Ints(sizes)
+
+	p := &Params{
+		SpecName:   spec.Name,
+		MicroSizes: sizes,
+		FwdOp:      make(map[int][]simtime.Duration, len(sizes)),
+		BwdOp:      make(map[int][]simtime.Duration, len(sizes)),
+		Overhead:   bench.Overhead(),
+	}
+	for _, m := range sizes {
+		f := make([]simtime.Duration, len(spec.Ops))
+		b := make([]simtime.Duration, len(spec.Ops))
+		for i, op := range spec.Ops {
+			f[i] = bench.OpForward(op, m)
+			b[i] = bench.OpBackward(op, m)
+		}
+		p.FwdOp[m] = f
+		p.BwdOp[m] = b
+	}
+
+	// Network: probe with a representative block-boundary activation.
+	probe := spec.BlockActivationBytes() * 4
+	if probe < 1<<20 {
+		probe = 1 << 20
+	}
+	small := probe / 8
+	im, _ := bench.Transfer(small, false)
+	il, _ := bench.Transfer(probe, false)
+	em, cv := bench.Transfer(small, true)
+	el, _ := bench.Transfer(probe, true)
+	p.Net = NetParams{
+		IntraLatency: fitLatency(im, il, small, probe),
+		InterLatency: fitLatency(em, el, small, probe),
+		IntraBps:     fitBandwidth(im, il, small, probe),
+		InterBps:     fitBandwidth(em, el, small, probe),
+		JitterCV:     cv,
+	}
+
+	// Allreduce: probe each hierarchy phase with two payloads — the
+	// payload delta isolates the per-byte rate, the residual pins the
+	// per-step latency. The intra-node phase is probed at ring size
+	// GPUsPerNode; the cross-node phase at 4 node groups, with the
+	// intra contribution subtracted.
+	big := opts.ARProbeBytes
+	sm := big / 8
+	gpn := opts.GPUsPerNode
+	p.AR = ARParams{GPUsPerNode: gpn, JitterCV: p.Net.JitterCV}
+	intraPred := func(n int64) simtime.Duration { return 0 }
+	if gpn > 1 {
+		t1 := bench.AllReduce(sm, gpn, 1)
+		t2 := bench.AllReduce(big, gpn, 1)
+		step, perByte := fitRing(t1, t2, sm, big, gpn, 1)
+		p.AR.IntraStepLatency = step
+		p.AR.IntraPerByteSec = perByte
+		intraPred = func(n int64) simtime.Duration {
+			return ringTime(n, gpn, step, perByte, 0)
+		}
+	}
+	dInter := 4
+	t1 := bench.AllReduce(sm, dInter*gpn, 1) - intraPred(sm)
+	t2 := bench.AllReduce(big, dInter*gpn, 1) - intraPred(big)
+	step, perByte := fitRing(t1, t2, sm, big, dInter, stragglerFactor(dInter, p.Net.JitterCV))
+	p.AR.InterStepLatency = step
+	p.AR.InterPerByteSec = perByte
+
+	// Optimizer cost per parameter from a large probe.
+	const optProbe = int64(100_000_000)
+	p.PerParamOptSec = bench.Optimizer(optProbe).Seconds() / float64(optProbe)
+
+	p.DeviceSpreadCV = bench.DeviceSpread()
+	return p, nil
+}
+
+// fitRing solves (stepLatency, perByteSec) of one ring phase from two
+// probes at payloads sm and big over a ring of d whose serialization
+// was inflated by strag.
+func fitRing(t1, t2 simtime.Duration, sm, big int64, d int, strag float64) (simtime.Duration, float64) {
+	ring := 2 * float64(d-1) / float64(d)
+	perByte := (t2 - t1).Seconds() / (ring * float64(big-sm) * strag)
+	if perByte < 0 {
+		perByte = 0
+	}
+	step := (float64(t1) - ring*float64(sm)*perByte*strag*float64(simtime.Second)) / float64(2*(d-1))
+	if step < 0 {
+		step = 0
+	}
+	return simtime.Duration(step + 0.5), perByte
+}
+
+// fitLatency solves lat from two transfer measurements.
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fitLatency(tSmall, tLarge simtime.Duration, bSmall, bLarge int64) simtime.Duration {
+	perByte := float64(tLarge-tSmall) / float64(bLarge-bSmall)
+	lat := float64(tSmall) - perByte*float64(bSmall)
+	if lat < 0 {
+		lat = 0
+	}
+	return simtime.Duration(lat + 0.5)
+}
+
+// fitBandwidth solves bytes/s from two transfer measurements.
+func fitBandwidth(tSmall, tLarge simtime.Duration, bSmall, bLarge int64) float64 {
+	perByte := (tLarge - tSmall).Seconds() / float64(bLarge-bSmall)
+	if perByte <= 0 {
+		return 0
+	}
+	return 1 / perByte
+}
+
+// PickMicroSize applies §4.4: the smallest profiled m at which per-
+// example forward time F(m)/m stops improving materially (less than
+// improveTol relative gain from doubling).
+func (p *Params) PickMicroSize(improveTol float64) int {
+	if improveTol <= 0 {
+		improveTol = 0.05
+	}
+	best := p.MicroSizes[len(p.MicroSizes)-1]
+	for i := 0; i+1 < len(p.MicroSizes); i++ {
+		m, next := p.MicroSizes[i], p.MicroSizes[i+1]
+		cur := p.perExampleFwd(m)
+		nxt := p.perExampleFwd(next)
+		if cur-nxt < improveTol*cur {
+			return m
+		}
+	}
+	return best
+}
+
+// PerExampleFwdAt reports whole-model forward seconds per example at a
+// profiled micro-batch size, used to rank candidate m values.
+func (p *Params) PerExampleFwdAt(m int) float64 { return p.perExampleFwd(m) }
+
+// perExampleFwd is whole-model forward seconds per example at m.
+func (p *Params) perExampleFwd(m int) float64 {
+	var sum simtime.Duration
+	for _, d := range p.FwdOp[m] {
+		sum += d
+	}
+	return sum.Seconds() / float64(m)
+}
+
+// HasMicroSize reports whether m was profiled.
+func (p *Params) HasMicroSize(m int) bool {
+	for _, s := range p.MicroSizes {
+		if s == m {
+			return true
+		}
+	}
+	return false
+}
+
+// StageCosts assembles the simulator inputs for a concrete
+// configuration: stages (a grouping of ops), micro-batch size m,
+// data-parallel width d, and a per-boundary flag saying whether the
+// activation hop to the next stage crosses nodes. This is the bridge
+// from Table 2 parameters to the §4.4 simulator.
+func (p *Params) StageCosts(spec *model.Spec, stages []model.Stage, m, d int, interBoundary []bool) ([]sim.StageCosts, error) {
+	if !p.HasMicroSize(m) {
+		return nil, fmt.Errorf("calibrate: micro size %d was not profiled", m)
+	}
+	if len(interBoundary) != len(stages) {
+		return nil, fmt.Errorf("calibrate: %d boundary flags for %d stages", len(interBoundary), len(stages))
+	}
+	fwd := p.FwdOp[m]
+	bwd := p.BwdOp[m]
+	// The data-parallel barrier runs at the slowest of d replicas;
+	// with the measured device spread the expected slowdown is the
+	// max-of-d factor (§4.3 folds observed spread into the
+	// calibrated parameters, just as network times fold in jitter).
+	barrier := 1 + p.DeviceSpreadCV*math.Sqrt(2*math.Log(float64(maxI(d, 2))))
+	scale := func(t simtime.Duration) simtime.Duration {
+		return simtime.Duration(float64(t)*barrier + 0.5)
+	}
+	costs := make([]sim.StageCosts, len(stages))
+	for i, st := range stages {
+		var f, b simtime.Duration
+		for j := st.FirstOp; j <= st.LastOp; j++ {
+			f += fwd[j]
+			b += bwd[j]
+		}
+		c := sim.StageCosts{
+			Fwd: scale(f + p.Overhead),
+			Bwd: scale(b + p.Overhead),
+			Rec: scale(f + p.Overhead),
+		}
+		if i < len(stages)-1 {
+			actBytes := st.SendBytes * int64(m)
+			c.ActSend = p.Net.Transfer(actBytes, interBoundary[i])
+			c.GradSend = c.ActSend
+		}
+		c.AllReduce = p.AR.Time(st.Params*model.BytesPerParam, d)
+		c.Optimizer = simtime.FromSeconds(float64(st.Params)*p.PerParamOptSec) + p.Overhead
+		costs[i] = c
+	}
+	return costs, nil
+}

@@ -1,0 +1,288 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simtime"
+)
+
+// fakeBench is a clean-room hardware model: times derive from op flops
+// at a fixed rate with saturating micro-batch efficiency, transfers
+// from a latency+bandwidth pair, allreduce from the standard ring
+// formula. No noise, so fits must recover parameters exactly.
+type fakeBench struct {
+	flopsPerSec float64
+	lat         simtime.Duration
+	bps         float64
+}
+
+func (f fakeBench) eff(m int) float64 { return float64(m) / (float64(m) + 2) }
+
+func (f fakeBench) OpForward(op model.Op, m int) simtime.Duration {
+	return simtime.FromSeconds(op.FwdFlops * float64(m) / (f.flopsPerSec * f.eff(m)))
+}
+
+func (f fakeBench) OpBackward(op model.Op, m int) simtime.Duration {
+	return 2 * f.OpForward(op, m)
+}
+
+func (f fakeBench) Overhead() simtime.Duration { return 200 * simtime.Microsecond }
+
+func (f fakeBench) Transfer(n int64, inter bool) (simtime.Duration, float64) {
+	lat := f.lat
+	if !inter {
+		lat = f.lat / 10
+	}
+	bps := f.bps
+	if !inter {
+		bps = f.bps * 10
+	}
+	return lat + simtime.FromSeconds(float64(n)/bps), 0.2
+}
+
+func (f fakeBench) AllReduce(n int64, d, inFlight int) simtime.Duration {
+	if d <= 1 {
+		return 0
+	}
+	wire := float64(n) * 2 * float64(d-1) / float64(d) * float64(inFlight)
+	ser := wire / f.bps * stragglerFactor(d, 0.2) // bench reports cv 0.2
+	return simtime.Duration(int64(f.lat)*int64(2*(d-1))) + simtime.FromSeconds(ser)
+}
+
+func (f fakeBench) Optimizer(n int64) simtime.Duration {
+	return simtime.FromSeconds(float64(n) * 10e-12)
+}
+
+func (f fakeBench) DeviceSpread() float64 { return 0 }
+
+func bench() fakeBench {
+	return fakeBench{flopsPerSec: 50e12, lat: 500 * simtime.Microsecond, bps: 875e6}
+}
+
+func calibrated(t *testing.T, spec *model.Spec) *Params {
+	t.Helper()
+	p, err := Run(spec, bench(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunRejectsEmptySpec(t *testing.T) {
+	if _, err := Run(nil, bench(), Options{}); err == nil {
+		t.Fatal("nil spec must fail")
+	}
+	if _, err := Run(&model.Spec{}, bench(), Options{}); err == nil {
+		t.Fatal("empty spec must fail")
+	}
+}
+
+func TestCalibrationCoversAllOps(t *testing.T) {
+	spec := model.GPT2XL2B()
+	p := calibrated(t, spec)
+	for _, m := range p.MicroSizes {
+		if len(p.FwdOp[m]) != len(spec.Ops) || len(p.BwdOp[m]) != len(spec.Ops) {
+			t.Fatalf("m=%d: measured %d/%d ops, want %d", m, len(p.FwdOp[m]), len(p.BwdOp[m]), len(spec.Ops))
+		}
+	}
+	if !p.HasMicroSize(4) || p.HasMicroSize(3) {
+		t.Fatal("HasMicroSize wrong")
+	}
+}
+
+func TestNetworkFitRecoversTruth(t *testing.T) {
+	p := calibrated(t, model.GPT2XL2B())
+	b := bench()
+	// Inter latency and bandwidth recovered within 2%.
+	if rel(float64(p.Net.InterLatency), float64(b.lat)) > 0.02 {
+		t.Fatalf("inter latency %v, want %v", p.Net.InterLatency, b.lat)
+	}
+	if rel(p.Net.InterBps, b.bps) > 0.02 {
+		t.Fatalf("inter bps %.3g, want %.3g", p.Net.InterBps, b.bps)
+	}
+	if rel(p.Net.IntraBps, b.bps*10) > 0.02 {
+		t.Fatalf("intra bps %.3g, want %.3g", p.Net.IntraBps, b.bps*10)
+	}
+	if p.Net.JitterCV != 0.2 {
+		t.Fatalf("jitter cv = %v, want 0.2 from bench", p.Net.JitterCV)
+	}
+	// Prediction matches ground truth on unseen sizes.
+	for _, n := range []int64{1 << 18, 5 << 20, 123456789} {
+		want, _ := b.Transfer(n, true)
+		got := p.Net.Transfer(n, true)
+		if rel(float64(got), float64(want)) > 0.02 {
+			t.Fatalf("Transfer(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAllReduceFitRecoversTruth(t *testing.T) {
+	p, err := Run(model.GPT2XL2B(), bench(), Options{GPUsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bench()
+	for _, c := range []struct {
+		n int64
+		d int
+	}{{1 << 20, 2}, {200 << 20, 6}, {1 << 30, 16}} {
+		want := b.AllReduce(c.n, c.d, 1)
+		got := p.AR.Time(c.n, c.d)
+		if rel(float64(got), float64(want)) > 0.05 {
+			t.Fatalf("AR(%d,%d) = %v, want %v", c.n, c.d, got, want)
+		}
+	}
+	if p.AR.Time(1<<20, 1) != 0 || p.AR.Time(0, 8) != 0 {
+		t.Fatal("degenerate allreduce must be free")
+	}
+}
+
+func TestPickMicroSizeSaturation(t *testing.T) {
+	p := calibrated(t, model.GPT2XL2B())
+	m := p.PickMicroSize(0.05)
+	// With eff = m/(m+2): doubling gains fall below 5% somewhere
+	// in the 8..32 range.
+	if m < 8 || m > 32 {
+		t.Fatalf("picked m=%d, want within [8,32]", m)
+	}
+	// Stricter tolerance picks a smaller m.
+	loose := p.PickMicroSize(0.30)
+	if loose > m {
+		t.Fatalf("looser tolerance picked larger m: %d > %d", loose, m)
+	}
+	// Default tolerance path.
+	if p.PickMicroSize(0) != m {
+		t.Fatal("default tolerance must be 5%")
+	}
+}
+
+func TestStageCostsAssembly(t *testing.T) {
+	spec := model.GPT2XL2B()
+	p := calibrated(t, spec)
+	cuts, err := model.FindCutPoints(spec, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := model.Partition(spec, cuts, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := make([]bool, 9)
+	for i := 0; i < 8; i++ {
+		inter[i] = true
+	}
+	costs, err := p.StageCosts(spec, stages, 4, 6, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 9 {
+		t.Fatalf("got %d stage costs", len(costs))
+	}
+	b := bench()
+	for i, c := range costs {
+		// Backward ≈ 2× forward (modulo per-task overhead).
+		ratio := float64(c.Bwd-p.Overhead) / float64(c.Fwd-p.Overhead)
+		if math.Abs(ratio-2) > 0.01 {
+			t.Fatalf("stage %d bwd/fwd = %.3f", i, ratio)
+		}
+		if c.Rec != c.Fwd {
+			t.Fatalf("stage %d recompute != forward", i)
+		}
+		if i < 8 {
+			if c.ActSend <= 0 || c.GradSend != c.ActSend {
+				t.Fatalf("stage %d transfer costs wrong: %+v", i, c)
+			}
+			want, _ := b.Transfer(stages[i].SendBytes*4, true)
+			if rel(float64(c.ActSend), float64(want)) > 0.03 {
+				t.Fatalf("stage %d ActSend %v, want %v", i, c.ActSend, want)
+			}
+		} else if c.ActSend != 0 {
+			t.Fatal("last stage must not send activations")
+		}
+		if c.AllReduce <= 0 {
+			t.Fatalf("stage %d allreduce missing", i)
+		}
+		if c.Optimizer <= 0 {
+			t.Fatalf("stage %d optimizer missing", i)
+		}
+	}
+}
+
+func TestStageCostsErrors(t *testing.T) {
+	spec := model.GPT2XL2B()
+	p := calibrated(t, spec)
+	cuts, _ := model.FindCutPoints(spec, 53)
+	stages, _ := model.Partition(spec, cuts, 9, true)
+	if _, err := p.StageCosts(spec, stages, 3, 6, make([]bool, 9)); err == nil {
+		t.Fatal("unprofiled micro size must fail")
+	}
+	if _, err := p.StageCosts(spec, stages, 4, 6, make([]bool, 3)); err == nil {
+		t.Fatal("boundary flag length mismatch must fail")
+	}
+}
+
+func TestCalibrationScaleInvariance(t *testing.T) {
+	// The whole point of §4.3: parameter count is independent of the
+	// number of GPUs. Nothing in Params depends on G; verify the
+	// measurement count is a function of ops × micro sizes only.
+	spec := model.GPT2Megatron8B()
+	p := calibrated(t, spec)
+	wantPerM := len(spec.Ops)
+	for _, m := range p.MicroSizes {
+		if len(p.FwdOp[m]) != wantPerM {
+			t.Fatalf("measurement count per m = %d, want %d (independent of G)", len(p.FwdOp[m]), wantPerM)
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// hierBench extends fakeBench with a node hierarchy: intra rings run
+// on a 10x faster link, and rings spanning nodes pay both phases —
+// matching the ARParams functional form so the fit must recover it.
+type hierBench struct {
+	fakeBench
+	gpn int
+}
+
+func (h hierBench) ring(n int64, d int, lat simtime.Duration, bps float64, cv float64) simtime.Duration {
+	if d <= 1 {
+		return 0
+	}
+	wire := float64(n) * 2 * float64(d-1) / float64(d)
+	return simtime.Duration(int64(lat)*int64(2*(d-1))) +
+		simtime.FromSeconds(wire/bps*stragglerFactor(d, cv))
+}
+
+func (h hierBench) AllReduce(n int64, d, inFlight int) simtime.Duration {
+	if d <= h.gpn {
+		return h.ring(n, d, h.lat/10, h.bps*10, 0)
+	}
+	nodes := (d + h.gpn - 1) / h.gpn
+	return h.ring(n, h.gpn, h.lat/10, h.bps*10, 0) + h.ring(n, nodes, h.lat, h.bps, 0.2)
+}
+
+func TestHierarchicalARFit(t *testing.T) {
+	b := hierBench{fakeBench: bench(), gpn: 4}
+	p, err := Run(model.GPT2XL2B(), b, Options{GPUsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		n int64
+		d int
+	}{{64 << 20, 2}, {64 << 20, 4}, {256 << 20, 16}, {1 << 30, 32}} {
+		want := b.AllReduce(c.n, c.d, 1)
+		got := p.AR.Time(c.n, c.d)
+		if rel(float64(got), float64(want)) > 0.06 {
+			t.Fatalf("hier AR(%d,%d) = %v, want %v", c.n, c.d, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func layer(i int, seed float64) LayerState {
+	n := 8
+	ls := LayerState{Layer: i, Params: make([]float64, n), M: make([]float64, n), V: make([]float64, n)}
+	for j := range ls.Params {
+		ls.Params[j] = seed + float64(j)
+		ls.M[j] = seed * 0.1
+		ls.V[j] = seed * 0.01
+	}
+	return ls
+}
+
+func testStoreRoundTrip(t *testing.T, s Store) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		if err := s.PutLayer(7, layer(i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutManifest(Manifest{Step: 7, Layers: []int{0, 1, 2, 3}, NumLayers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s.Latest()
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v ok=%v", err, ok)
+	}
+	if m.Step != 7 || len(m.Layers) != 4 {
+		t.Fatalf("manifest %+v", m)
+	}
+	got, err := s.GetLayer(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualState(got, layer(2, 2)) {
+		t.Fatal("layer 2 corrupted on round trip")
+	}
+	if _, err := s.GetLayer(7, 99); err == nil {
+		t.Fatal("missing layer must error")
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) { testStoreRoundTrip(t, NewMemStore()) }
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreRoundTrip(t, fs)
+}
+
+func TestMemStoreManifestRequiresLayers(t *testing.T) {
+	s := NewMemStore()
+	if err := s.PutManifest(Manifest{Step: 1, Layers: []int{0}}); err == nil {
+		t.Fatal("manifest over missing layers must fail")
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	// Mutating a loaded layer must not corrupt the store.
+	s := NewMemStore()
+	orig := layer(0, 1)
+	if err := s.PutLayer(1, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetLayer(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Params[0] = 999
+	again, err := s.GetLayer(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Params[0] == 999 {
+		t.Fatal("store aliased caller memory")
+	}
+}
+
+func TestShardCoverage(t *testing.T) {
+	layers := []int{3, 4, 5, 6, 7, 8, 9}
+	for d := 1; d <= 8; d++ {
+		if err := Coverage(layers, d); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+	if ShardLayers(layers, 0, 0) != nil {
+		t.Fatal("d=0 must yield nothing")
+	}
+	if ShardLayers(layers, 2, 5) != nil {
+		t.Fatal("replica out of range must yield nothing")
+	}
+}
+
+func TestShardCoverageProperty(t *testing.T) {
+	if err := quick.Check(func(n, d uint8) bool {
+		layers := make([]int, int(n%40)+1)
+		for i := range layers {
+			layers[i] = i * 3
+		}
+		return Coverage(layers, int(d%8)+1) == nil
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	layers := make([]int, 24)
+	for i := range layers {
+		layers[i] = i
+	}
+	for _, d := range []int{2, 3, 4, 6} {
+		for r := 0; r < d; r++ {
+			got := len(ShardLayers(layers, d, r))
+			if got != 24/d {
+				t.Fatalf("d=%d r=%d: shard size %d, want %d", d, r, got, 24/d)
+			}
+		}
+	}
+}
+
+func TestResumeAcrossDifferentDepth(t *testing.T) {
+	// §4.5: per-layer checkpoints let the morpher resume under a
+	// different layers-to-stages mapping. Write as 4 stages, read all
+	// layers back as 2 stages.
+	s := NewMemStore()
+	const numLayers = 12
+	var all []int
+	for l := 0; l < numLayers; l++ {
+		if err := s.PutLayer(3, layer(l, float64(l)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, l)
+	}
+	if err := s.PutManifest(Manifest{Step: 3, Layers: all, NumLayers: numLayers}); err != nil {
+		t.Fatal(err)
+	}
+	step, state, err := Resume(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 3 || len(state) != numLayers {
+		t.Fatalf("resume step=%d layers=%d", step, len(state))
+	}
+	for l := 0; l < numLayers; l++ {
+		if !EqualState(state[l], layer(l, float64(l)*1.5)) {
+			t.Fatalf("layer %d state mismatch after resume", l)
+		}
+	}
+}
+
+func TestResumeFreshStart(t *testing.T) {
+	step, state, err := Resume(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 0 || state != nil {
+		t.Fatal("empty store must resume fresh")
+	}
+}
+
+func TestFileStoreCrashSafety(t *testing.T) {
+	// A newer step's layers without a manifest must not change Latest.
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreRoundTrip(t, fs)
+	if err := fs.PutLayer(8, layer(0, 9)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := fs.Latest()
+	if err != nil || !ok || m.Step != 7 {
+		t.Fatalf("Latest after partial write: %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestEqualState(t *testing.T) {
+	a := layer(1, 2)
+	if !EqualState(a, a) {
+		t.Fatal("self equality")
+	}
+	b := layer(1, 2)
+	b.Params[0] = 42
+	if EqualState(a, b) {
+		t.Fatal("different params must differ")
+	}
+	c := layer(2, 2)
+	if EqualState(a, c) {
+		t.Fatal("different layer index must differ")
+	}
+	n1 := LayerState{Layer: 0, Params: []float64{math.NaN()}}
+	n2 := LayerState{Layer: 0, Params: []float64{math.NaN()}}
+	if !EqualState(n1, n2) {
+		t.Fatal("NaN state must compare equal to itself")
+	}
+}

@@ -1,0 +1,133 @@
+package compute
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/simtime"
+)
+
+func stageFor(t *testing.T, s *model.Spec, p int) model.Stage {
+	t.Helper()
+	k := s.NumLayers - 1
+	if k < p-1 {
+		k = p - 1
+	}
+	cuts, err := model.FindCutPoints(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := model.Partition(s, cuts, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stages[p/2]
+}
+
+func TestEfficiencyMonotoneSaturating(t *testing.T) {
+	c := Default()
+	prev := 0.0
+	for m := 1; m <= 64; m *= 2 {
+		e := c.Efficiency(m)
+		if e <= prev {
+			t.Fatalf("efficiency not increasing at m=%d", m)
+		}
+		if e > c.MaxEfficiency {
+			t.Fatalf("efficiency %v above max %v", e, c.MaxEfficiency)
+		}
+		prev = e
+	}
+	if c.Efficiency(0) != c.Efficiency(1) {
+		t.Fatal("m<1 must clamp to 1")
+	}
+}
+
+func TestMicroBatchEfficiencyMatchesPaper(t *testing.T) {
+	// §4.1: "in BERT-large, m=8 performs 26% better than m=4"
+	// (per-example throughput). Our curve should land in that region.
+	c := Default()
+	gain := c.Efficiency(8) / c.Efficiency(4)
+	if gain < 1.1 || gain > 1.4 {
+		t.Fatalf("eff(8)/eff(4) = %.3f, want ≈1.26", gain)
+	}
+}
+
+func TestBackwardTwiceForward(t *testing.T) {
+	st := stageFor(t, model.GPT2XL2B(), 9)
+	c := Default()
+	f := c.Forward(st, 4) - c.LaunchOverhead
+	b := c.Backward(st, 4) - c.LaunchOverhead
+	ratio := float64(b) / float64(f)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("backward/forward = %.3f, want 2", ratio)
+	}
+	if c.Recompute(st, 4) != c.Forward(st, 4) {
+		t.Fatal("recompute must equal forward")
+	}
+}
+
+func TestForwardScalesWithMicroBatch(t *testing.T) {
+	st := stageFor(t, model.GPT2XL2B(), 9)
+	c := Default()
+	f4 := c.Forward(st, 4)
+	f8 := c.Forward(st, 8)
+	// Twice the work at higher efficiency: time grows, but less than 2x.
+	if f8 <= f4 {
+		t.Fatal("larger micro-batch cannot be faster in absolute time")
+	}
+	if float64(f8) >= 2*float64(f4) {
+		t.Fatal("larger micro-batch must be more efficient per example")
+	}
+}
+
+func TestIntraLayerPenalty(t *testing.T) {
+	st := stageFor(t, model.GPT2XL2B(), 9)
+	whole := Default()
+	split := Default()
+	split.IntraLayerPenalty = 0.8
+	if split.Forward(st, 4) <= whole.Forward(st, 4) {
+		t.Fatal("intra-layer split must slow kernels down")
+	}
+}
+
+func TestWholeModelThroughputPlausible(t *testing.T) {
+	// Sanity-check absolute throughput scale: a 2.5B model across 9
+	// stages at m=4 should put per-GPU useful throughput in the
+	// low-single-digit ex/s range (paper: ~1.5-1.8 ex/s/GPU incl.
+	// pipeline overheads).
+	s := model.GPT2XL2B()
+	cuts, err := model.FindCutPoints(s, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := model.Partition(s, cuts, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	var perStage simtime.Duration
+	for _, st := range stages {
+		d := c.Forward(st, 4) + c.Backward(st, 4) + c.Recompute(st, 4)
+		if d > perStage {
+			perStage = d
+		}
+	}
+	// Steady-state pipeline: one micro-batch of 4 examples per stage-time.
+	exPerSec := 4 / perStage.Seconds() / 9 // per GPU
+	if exPerSec < 0.5 || exPerSec > 6 {
+		t.Fatalf("per-GPU throughput %.2f ex/s implausible for 2.5B", exPerSec)
+	}
+}
+
+func TestOptimizerStep(t *testing.T) {
+	st := stageFor(t, model.GPT2TwoHundredB(), 102)
+	c := Default()
+	onDev := c.OptimizerStep(st, false)
+	offload := c.OptimizerStep(st, true)
+	if offload <= onDev {
+		t.Fatal("host offload must cost more than on-device update")
+	}
+	if onDev <= 0 {
+		t.Fatal("optimizer step must take time")
+	}
+}

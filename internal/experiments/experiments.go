@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7) on the reproduction stack: each experiment
+// builds the workloads, runs Varuna and the relevant baselines on the
+// testbed, and reports the same rows/series the paper does. The
+// EXPERIMENTS.md file records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/autoconfig"
+	"repro/internal/compute"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/simtime"
+	"repro/internal/testbed"
+)
+
+// jobLike is the slice of core.Job the experiments use, kept as an
+// interface so helpers stay testable.
+type jobLike interface {
+	Configure(p, d int) (autoconfig.Choice, error)
+	Measure(c autoconfig.Choice) (testbed.Measurement, error)
+	MeasureWithPolicy(c autoconfig.Choice, policy schedule.Policy) (testbed.Measurement, error)
+	Estimate(c autoconfig.Choice) (simtime.Duration, error)
+	Testbed() *testbed.Testbed
+}
+
+var _ jobLike = (*core.Job)(nil)
+
+// defaultCost is the V100 kernel model shared with the testbed.
+func defaultCost() compute.CostModel { return compute.Default() }
+
+// offload102 builds the 200B job config with optimizer state in host
+// memory (§7.1.1).
+func offload102(job *core.Job, c autoconfig.Choice) testbed.JobConfig {
+	return testbed.JobConfig{
+		Spec:             job.Spec,
+		Stages:           c.Stages,
+		M:                c.M,
+		Nm:               c.Nm,
+		D:                c.D,
+		OffloadOptimizer: true,
+	}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// Title names the experiment ("Table 4: ...").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes carry caveats and substitutions.
+	Notes []string
+	// Figure optionally carries pre-rendered chart text (Gantt, loss
+	// curves, availability plots).
+	Figure string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Figure != "" {
+		b.WriteByte('\n')
+		b.WriteString(t.Figure)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// f2 formats with 2 decimals, f3 with 3, f1 with 1.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// tflopsPerGPU converts per-GPU throughput into useful TFlops/s/GPU
+// (recompute excluded, as §7.1 specifies).
+func tflopsPerGPU(spec *model.Spec, exPerSecPerGPU float64) float64 {
+	return exPerSecPerGPU * spec.TrainFlopsPerExample() / 1e12
+}
+
+// jobCache memoizes calibrated jobs: several experiments share the
+// same (model, cluster) pair and calibration is the expensive step.
+var jobCache sync.Map
+
+type jobKey struct {
+	spec    string
+	cluster string
+	mTotal  int
+	seed    int64
+}
+
+// sharedJob returns a calibrated core.Job for the spec/cluster pair.
+func sharedJob(spec *model.Spec, cluster hw.Cluster, mTotal int, seed int64) (*core.Job, error) {
+	key := jobKey{spec: spec.Name, cluster: cluster.Name, mTotal: mTotal, seed: seed}
+	if v, ok := jobCache.Load(key); ok {
+		return v.(*core.Job), nil
+	}
+	job, err := core.NewJob(spec, cluster, mTotal, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobCache.Store(key, job)
+	return job, nil
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/autoconfig"
+	"repro/internal/baselines"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/netsim"
+)
+
+// megatronOn evaluates the best Megatron configuration on a cluster
+// and reports ex/s/GPU (0 with a note when infeasible).
+func megatronOn(spec *model.Spec, cluster hw.Cluster, g, m, mTotal int) (float64, string) {
+	fabric := netsim.New(1)
+	if cluster.LowPriority {
+		fabric = netsim.New(1.3)
+	}
+	cfg, tm, err := baselines.BestMegatron(spec, g, m, mTotal, cluster, fabric, defaultCost())
+	if err != nil {
+		return 0, err.Error()
+	}
+	ex := float64(mTotal) / tm.Seconds() / float64(cfg.GPUs())
+	return ex, fmt.Sprintf("%d-way x %d", cfg.MP, cfg.D)
+}
+
+// varunaAt measures Varuna at an explicit P×D on a job's testbed.
+func varunaAt(job jobLike, p, d int) (autoconfig.Choice, float64, error) {
+	c, err := job.Configure(p, d)
+	if err != nil {
+		return autoconfig.Choice{}, 0, err
+	}
+	ms, err := job.Measure(c)
+	if err != nil {
+		return autoconfig.Choice{}, 0, err
+	}
+	return c, ms.ExPerSec() / float64(c.GPUsUsed), nil
+}
+
+// Fig5GPT8B reproduces Figure 5: Varuna vs Megatron on the GPT-2 8.3B
+// model, on commodity low-priority VMs and on the hypercluster, at
+// three fleet sizes. Mini-batch 8192; Varuna uses 18-deep pipelines
+// (18x3, 18x7, 18x16 — 54/126/288 GPUs), as in the paper.
+func Fig5GPT8B() (*Table, error) {
+	spec := model.GPT2Megatron8B()
+	const mTotal = 8192
+	t := &Table{
+		Title:  "Figure 5: Varuna vs Megatron, GPT-2 8.3B (ex/s/GPU)",
+		Header: []string{"GPUs", "Varuna(LP)", "Megatron(LP)", "Varuna(HC)", "Megatron(HC)", "Varuna-LP/Megatron-LP"},
+	}
+	hcCluster := hw.Hypercluster(16)
+	hcJob, err := sharedJob(spec, hcCluster, mTotal, 42)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range []struct{ g, d int }{{64, 3}, {128, 7}, {300, 16}} {
+		lpCluster := hw.SpotCluster(hw.NC24v3, cfg.g)
+		lpJob, err := sharedJob(spec, lpCluster, mTotal, 42)
+		if err != nil {
+			return nil, err
+		}
+		_, varunaLP, err := varunaAt(lpJob, 18, cfg.d)
+		if err != nil {
+			return nil, err
+		}
+		megLP, _ := megatronOn(spec, lpCluster, cfg.g, 4, mTotal)
+		hcG := cfg.g
+		if hcG > hcCluster.NumGPUs() {
+			hcG = hcCluster.NumGPUs()
+		}
+		_, varunaHC, err := varunaAt(hcJob, 18, hcG/18)
+		if err != nil {
+			return nil, err
+		}
+		megHC, _ := megatronOn(spec, hcCluster, hcG, 4, mTotal)
+		ratio := 0.0
+		if megLP > 0 {
+			ratio = varunaLP / megLP
+		}
+		t.Add(fmt.Sprint(cfg.g), f3(varunaLP), f3(megLP), f3(varunaHC), f3(megHC), f1(ratio)+"x")
+	}
+	t.Notes = append(t.Notes,
+		"paper: Varuna(LP) ≈ 0.56 ex/s/GPU, ~18x over Megatron(LP), and 17% above Megatron(HC)")
+	return t, nil
+}
+
+// Fig6GPT2B reproduces Figure 6 for the 2.5B model (Varuna at 9x7,
+// 9x14, 9x28).
+func Fig6GPT2B() (*Table, error) {
+	spec := model.GPT2XL2B()
+	const mTotal = 8192
+	t := &Table{
+		Title:  "Figure 6: Varuna vs Megatron, GPT-2 2.5B (ex/s/GPU)",
+		Header: []string{"GPUs", "Varuna(LP)", "Megatron(LP)", "Varuna(HC)", "Megatron(HC)", "Varuna-LP/Megatron-LP"},
+	}
+	hcCluster := hw.Hypercluster(16)
+	hcJob, err := sharedJob(spec, hcCluster, mTotal, 43)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range []struct{ g, d int }{{63, 7}, {126, 14}, {252, 28}} {
+		lpCluster := hw.SpotCluster(hw.NC24v3, cfg.g)
+		lpJob, err := sharedJob(spec, lpCluster, mTotal, 43)
+		if err != nil {
+			return nil, err
+		}
+		_, varunaLP, err := varunaAt(lpJob, 9, cfg.d)
+		if err != nil {
+			return nil, err
+		}
+		megLP, _ := megatronOn(spec, lpCluster, cfg.g, 4, mTotal)
+		hcG := cfg.g
+		if hcG > hcCluster.NumGPUs() {
+			hcG = hcCluster.NumGPUs()
+		}
+		_, varunaHC, err := varunaAt(hcJob, 9, hcG/9)
+		if err != nil {
+			return nil, err
+		}
+		megHC, _ := megatronOn(spec, hcCluster, hcG, 4, mTotal)
+		ratio := 0.0
+		if megLP > 0 {
+			ratio = varunaLP / megLP
+		}
+		t.Add(fmt.Sprint(cfg.g), f3(varunaLP), f3(megLP), f3(varunaHC), f3(megHC), f1(ratio)+"x")
+	}
+	t.Notes = append(t.Notes,
+		"paper: Varuna 4.1x over Megatron on commodity VMs, within 4% of hypercluster Varuna")
+	return t, nil
+}
+
+// Table4TwentyB reproduces Table 4: the 20B model. Varuna runs 49x6 on
+// 294 low-priority GPUs and on the hypercluster; Megatron fits only a
+// 19.2B variant at 16-way inside a DGX-2, and forcing 20B to 18-way
+// crosses node boundaries and collapses.
+func Table4TwentyB() (*Table, error) {
+	const mTotal = 8192
+	t := &Table{
+		Title:  "Table 4: 20B-parameter models (mini-batch 8192)",
+		Header: []string{"System", "GPUs", "Ex/s/GPU", "TFlops/s/GPU"},
+	}
+
+	spec20 := model.GPT2Twenty20B()
+	lp := hw.SpotCluster(hw.NC6v3, 294)
+	lpJob, err := sharedJob(spec20, lp, mTotal, 44)
+	if err != nil {
+		return nil, err
+	}
+	_, vLP, err := varunaAt(lpJob, 49, 6)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("20B Varuna (LP)", "294", f3(vLP), f1(tflopsPerGPU(spec20, vLP)))
+
+	hc := hw.Hypercluster(16)
+	spec19 := model.GPT2Twenty19B()
+	fabric := netsim.New(1)
+	meg19, err := baselines.MegatronTime(baselines.MegatronConfig{
+		Spec: spec19, MP: 16, D: 16, M: 1, MTotal: mTotal}, hc, fabric, defaultCost())
+	if err != nil {
+		return nil, err
+	}
+	ex19 := float64(mTotal) / meg19.Seconds() / 256
+	t.Add("19.2B Megatron (HC)", "256", f3(ex19), f1(tflopsPerGPU(spec19, ex19)))
+
+	meg20, err := baselines.MegatronTime(baselines.MegatronConfig{
+		Spec: spec20, MP: 18, D: 14, M: 1, MTotal: mTotal}, hc, fabric, defaultCost())
+	if err != nil {
+		return nil, err
+	}
+	ex20 := float64(mTotal) / meg20.Seconds() / float64(18*14)
+	t.Add("20B Megatron (HC, 18-way forced)", "252", f3(ex20), f1(tflopsPerGPU(spec20, ex20)))
+
+	hcJob, err := sharedJob(spec20, hc, mTotal, 44)
+	if err != nil {
+		return nil, err
+	}
+	// 32 stages keep each stage's 16·N/P state within a V100 while two
+	// DGX-2s host one pipeline; sweeping all ~190 feasible depths of a
+	// 20B model is minutes of simulation for a one-row table.
+	best, err := hcJob.Configure(32, 8)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := hcJob.Measure(best)
+	if err != nil {
+		return nil, err
+	}
+	vHC := ms.ExPerSec() / float64(best.GPUsUsed)
+	t.Add("20B Varuna (HC)", fmt.Sprint(best.GPUsUsed), f3(vHC), f1(tflopsPerGPU(spec20, vHC)))
+
+	t.Notes = append(t.Notes,
+		"paper: Varuna(LP) 0.2 ex/s/GPU (25 TF), Megatron 19.2B(HC) 0.112 (14 TF), Megatron 20B forced 0.015 (1.9 TF), Varuna(HC) 0.257 (32.1 TF)")
+	return t, nil
+}
+
+// BERTLargeAnd200B reproduces §7.1.1's prose results: BERT-large 4x8
+// on 32 commodity GPUs vs the data-parallel DGX-1 baseline, and the
+// 200B model at 102x1 with host-offloaded optimizer state.
+func BERTLargeAnd200B() (*Table, error) {
+	t := &Table{
+		Title:  "§7.1.1: BERT-large and the 200B model",
+		Header: []string{"Workload", "Config", "Total ex/s", "Ex/s/GPU", "TFlops/s/GPU"},
+	}
+
+	bert := model.BERTLarge()
+	cluster := hw.SpotCluster(hw.NC24v3, 32)
+	job, err := sharedJob(bert, cluster, 32768, 45)
+	if err != nil {
+		return nil, err
+	}
+	c, perGPU, err := varunaAt(job, 4, 8)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("BERT-large (Varuna, LP)", c.String(), f1(perGPU*32), f2(perGPU), f1(tflopsPerGPU(bert, perGPU)))
+
+	dpTime, err := baselines.DataParallelTime(bert, 32, 8, 32768, cluster, netsim.New(1.3), defaultCost())
+	if err != nil {
+		return nil, err
+	}
+	dpPerGPU := 32768 / dpTime.Seconds() / 32
+	t.Add("BERT-large (data-parallel)", "32-way DP", f1(dpPerGPU*32), f2(dpPerGPU), f1(tflopsPerGPU(bert, dpPerGPU)))
+
+	b200 := model.GPT2TwoHundredB()
+	lp := hw.SpotCluster(hw.NC6v3, 102)
+	job200, err := sharedJob(b200, lp, 512, 46)
+	if err != nil {
+		return nil, err
+	}
+	// The 102x1 configuration only fits with optimizer state in host
+	// RAM (§7.1.1), which the generic sweep does not assume; build the
+	// choice explicitly and verify memory with offload accounted.
+	stages, err := model.Partition(b200, job200.CutPoints(), 102, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stages {
+		mm := model.MemoryModel{Spec: b200, Stage: st, WeightCopies: 1, OffloadOptimizer: true}
+		if !mm.Fits(1, 512, 102, 16<<30) {
+			return nil, fmt.Errorf("200B stage %d does not fit even with offload", st.Index)
+		}
+	}
+	cfg := autoconfig.Choice{P: 102, D: 1, M: 1, Nm: 512, Stages: stages, GPUsUsed: 102, Examples: 512}
+	jc := job200.Testbed()
+	ms, err := jc.MeasureMiniBatch(offload102(job200, cfg))
+	if err != nil {
+		return nil, err
+	}
+	perGPU200 := ms.ExPerSec() / 102
+	t.Add("GPT-2 200B (Varuna, LP)", "102x1 m=1 (optimizer in host RAM)",
+		f2(ms.ExPerSec()), f3(perGPU200), f1(tflopsPerGPU(b200, perGPU200)))
+
+	t.Notes = append(t.Notes,
+		"paper: BERT-large 710 ex/s on 32 LP GPUs (DGX-1 baseline 700); 200B runs 0.022 ex/s/GPU = 27.3 TFlops/s/GPU")
+	return t, nil
+}
+
+// Scaling reproduces the §7.1.3 scaling claim: per-GPU throughput of
+// the 8.3B model drops only a few percent from 54 to 288 GPUs.
+func Scaling() (*Table, error) {
+	spec := model.GPT2Megatron8B()
+	t := &Table{
+		Title:  "§7.1.3 Scaling: GPT-2 8.3B per-GPU throughput vs fleet size",
+		Header: []string{"GPUs", "Config", "Ex/s/GPU", "TFlops/s/GPU", "vs 54 GPUs"},
+	}
+	var base float64
+	for _, cfg := range []struct{ g, d int }{{54, 3}, {126, 7}, {288, 16}} {
+		cluster := hw.SpotCluster(hw.NC6v3, cfg.g)
+		job, err := sharedJob(spec, cluster, 8192, 47)
+		if err != nil {
+			return nil, err
+		}
+		c, perGPU, err := varunaAt(job, 18, cfg.d)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = perGPU
+		}
+		t.Add(fmt.Sprint(cfg.g), c.String(), f3(perGPU), f1(tflopsPerGPU(spec, perGPU)),
+			fmt.Sprintf("%+.1f%%", 100*(perGPU/base-1)))
+	}
+	t.Notes = append(t.Notes, "paper: 5.1x more GPUs cost only ~7.5% per-GPU throughput")
+	return t, nil
+}

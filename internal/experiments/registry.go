@@ -1,0 +1,49 @@
+package experiments
+
+// Entry is one runnable experiment.
+type Entry struct {
+	// ID is the short name used by `varuna-bench -exp <id>`.
+	ID string
+	// Paper locates the result in the paper.
+	Paper string
+	// Run executes the experiment.
+	Run func() (*Table, error)
+}
+
+// All lists every experiment, in paper order.
+func All() []Entry {
+	return []Entry{
+		{ID: "fig3", Paper: "Figure 3 (spot availability)", Run: Fig3Availability},
+		{ID: "fig4", Paper: "Figure 4 (schedule comparison)", Run: Fig4Schedules},
+		{ID: "table3", Paper: "Table 3 (pipeline depth)", Run: Table3PipelineDepth},
+		{ID: "fig5", Paper: "Figure 5 (8.3B vs Megatron)", Run: Fig5GPT8B},
+		{ID: "fig6", Paper: "Figure 6 (2.5B vs Megatron)", Run: Fig6GPT2B},
+		{ID: "fig7", Paper: "Figure 7 (20B Gantt chart)", Run: Fig7Gantt},
+		{ID: "table4", Paper: "Table 4 (20B models)", Run: Table4TwentyB},
+		{ID: "bert200b", Paper: "§7.1.1 (BERT-large, 200B)", Run: BERTLargeAnd200B},
+		{ID: "scaling", Paper: "§7.1.3 (scaling)", Run: Scaling},
+		{ID: "table5", Paper: "Table 5 (vs GPipe)", Run: Table5GPipe},
+		{ID: "table6", Paper: "Table 6 (pipeline systems)", Run: Table6Pipelines},
+		{ID: "table7", Paper: "Table 7 (simulator accuracy)", Run: Table7SimAccuracy},
+		{ID: "simspeed", Paper: "§7.2 (simulator runtime)", Run: SimulatorSpeed},
+		{ID: "fig8", Paper: "Figure 8 (60h morphing)", Run: Fig8Morphing},
+		{ID: "vmsize", Paper: "§7.2 (1-GPU vs 4-GPU VMs)", Run: OneVsFourGPUVMs},
+		{ID: "fig9", Paper: "Figure 9 (convergence)", Run: Fig9Convergence},
+		{ID: "fig10", Paper: "Figure 10 (stale updates)", Run: Fig10TwoBW},
+		{ID: "tracer", Paper: "§5.2 (shared-state tracer)", Run: SharedStateTracer},
+		{ID: "abl-opportunistic", Paper: "ablation (§3.2 opportunism)", Run: AblationOpportunistic},
+		{ID: "abl-microbatch", Paper: "ablation (§4.1 micro-batch)", Run: AblationMicroBatch},
+		{ID: "abl-laststage", Paper: "ablation (§3.2 last-stage packing)", Run: AblationLastStagePacking},
+		{ID: "abl-straggler", Paper: "ablation (§4.6 fail-stutter)", Run: AblationStragglers},
+	}
+}
+
+// ByID finds an experiment; ok is false for unknown ids.
+func ByID(id string) (Entry, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

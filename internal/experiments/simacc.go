@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Table7SimAccuracy reproduces Table 7: the parametric simulator's
+// estimated mini-batch time against the measured ("actual") time for
+// twelve configurations of the 8.3B and 2.5B models. The paper reports
+// all errors within 5%.
+func Table7SimAccuracy() (*Table, error) {
+	t := &Table{
+		Title:  "Table 7: simulator estimates vs actual mini-batch times",
+		Header: []string{"Model", "Config (PxD)", "Estimated (s)", "Actual (s)", "Error"},
+	}
+	type cfg struct {
+		spec *model.Spec
+		p, d int
+	}
+	cases := []cfg{
+		{model.GPT2Megatron8B(), 36, 3},
+		{model.GPT2Megatron8B(), 36, 2},
+		{model.GPT2Megatron8B(), 36, 1},
+		{model.GPT2Megatron8B(), 24, 4},
+		{model.GPT2Megatron8B(), 24, 2},
+		{model.GPT2Megatron8B(), 18, 6},
+		{model.GPT2Megatron8B(), 18, 4},
+		{model.GPT2Megatron8B(), 18, 3},
+		{model.GPT2XL2B(), 27, 2},
+		{model.GPT2XL2B(), 18, 3},
+		{model.GPT2XL2B(), 9, 7},
+		{model.GPT2XL2B(), 6, 10},
+	}
+	var worst float64
+	for _, c := range cases {
+		cluster := hw.SpotCluster(hw.NC6v3, c.p*c.d)
+		job, err := sharedJob(c.spec, cluster, 8192, 50)
+		if err != nil {
+			return nil, err
+		}
+		choice, err := job.Configure(c.p, c.d)
+		if err != nil {
+			return nil, err
+		}
+		// The paper's Table 7 rows are real runs at small micro-batch
+		// sizes; pin m=4 so estimate and measurement use the same
+		// configuration the paper validated.
+		choice.M = 4
+		choice.Nm = (8192 + 4*c.d - 1) / (4 * c.d)
+		choice.Examples = choice.M * choice.Nm * c.d
+		est, err := job.Estimate(choice)
+		if err != nil {
+			return nil, err
+		}
+		// Average a few measured mini-batches, as a real validation
+		// run would.
+		var sum float64
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			ms, err := job.Measure(choice)
+			if err != nil {
+				return nil, err
+			}
+			sum += ms.MiniBatchTime.Seconds()
+		}
+		actual := sum / reps
+		errFrac := math.Abs(est.Seconds()-actual) / actual
+		if errFrac > worst {
+			worst = errFrac
+		}
+		t.Add(c.spec.Name, fmt.Sprintf("%dx%d", c.p, c.d),
+			f1(est.Seconds()), f1(actual), fmt.Sprintf("%.1f%%", errFrac*100))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("worst-case error %.1f%% (paper: within 5%%)", worst*100))
+	return t, nil
+}
+
+// SimulatorSpeed reproduces the §7.2 simulator-runtime measurement:
+// wall-clock time to simulate one full mini-batch of a 128-GPU,
+// batch-8192 job at P=36/24/18. The paper reports 660/376/391 ms.
+func SimulatorSpeed() (*Table, error) {
+	spec := model.GPT2Megatron8B()
+	cluster := hw.SpotCluster(hw.NC6v3, 128)
+	job, err := sharedJob(spec, cluster, 8192, 50)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "§7.2: simulator wall-clock runtime (128-GPU job, batch 8192)",
+		Header: []string{"P", "D", "Nm", "Sim runtime"},
+	}
+	for _, p := range []int{36, 24, 18} {
+		d := 128 / p
+		choice, err := job.Configure(p, d)
+		if err != nil {
+			return nil, err
+		}
+		costs, err := job.Calibration().StageCosts(spec, choice.Stages, choice.M, choice.D,
+			job.Testbed().InterBoundaryFlags(p))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := sim.Run(sim.Config{Depth: p, Micros: choice.Nm,
+			Policy: schedule.Varuna, Costs: costs}); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		t.Add(fmt.Sprint(p), fmt.Sprint(d), fmt.Sprint(choice.Nm),
+			fmt.Sprintf("%.0fms", float64(elapsed.Microseconds())/1000))
+	}
+	t.Notes = append(t.Notes, "paper: 660ms (P=36), 376ms (P=24), 391ms (P=18)")
+	return t, nil
+}
+
+// AblationOpportunistic measures Varuna's opportunistic scheduling
+// against the strict static-schedule replay under commodity jitter —
+// the design choice behind Observation 3.
+func AblationOpportunistic() (*Table, error) {
+	spec := model.GPT2Megatron8B()
+	cluster := hw.SpotCluster(hw.NC6v3, 72)
+	job, err := sharedJob(spec, cluster, 8192, 51)
+	if err != nil {
+		return nil, err
+	}
+	c, err := job.Configure(18, 4)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: opportunistic vs strict Varuna schedule (8.3B, 18x4)",
+		Header: []string{"Variant", "Ex/s/GPU"},
+	}
+	run := func(policy schedule.Policy) (float64, error) {
+		var sum float64
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			ms, err := job.MeasureWithPolicy(c, policy)
+			if err != nil {
+				return 0, err
+			}
+			sum += ms.ExPerSec() / float64(c.GPUsUsed)
+		}
+		return sum / reps, nil
+	}
+	opp, err := run(schedule.Varuna)
+	if err != nil {
+		return nil, err
+	}
+	strict, err := run(schedule.VarunaStrict)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("rule-based + opportunistic (Varuna)", f3(opp))
+	t.Add("static schedule, no deviation", f3(strict))
+	t.Notes = append(t.Notes, "opportunism hides commodity-network jitter (§3.2)")
+	return t, nil
+}
+
+// AblationMicroBatch reproduces the §4.1 observation that micro-batch
+// size trades kernel efficiency against pipeline efficiency (m=8 is
+// ~26% better than m=4 per example in BERT-large kernels).
+func AblationMicroBatch() (*Table, error) {
+	spec := model.GPT2XL2B()
+	cluster := hw.SpotCluster(hw.NC6v3, 63)
+	job, err := sharedJob(spec, cluster, 8192, 52)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: micro-batch size at 9x7 (2.5B, batch 8192)",
+		Header: []string{"m", "Nm", "Ex/s/GPU", "Kernel efficiency"},
+	}
+	cost := defaultCost()
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		c, err := job.Configure(9, 7)
+		if err != nil {
+			return nil, err
+		}
+		c.M = m
+		c.Nm = 8192 / (m * 7)
+		if c.Nm < 1 {
+			c.Nm = 1
+		}
+		c.Examples = m * c.Nm * 7
+		ms, err := job.Measure(c)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprint(m), fmt.Sprint(c.Nm),
+			f2(ms.ExPerSec()/float64(c.GPUsUsed)), f3(cost.Efficiency(m)))
+	}
+	t.Notes = append(t.Notes, "kernel efficiency rises with m; pipeline bubble rises as Nm shrinks — morphing picks the balance")
+	return t, nil
+}
+
+// AblationLastStagePacking measures the §3.2 design choice of packing
+// the lm_head into the recompute-free last stage versus a flat split.
+func AblationLastStagePacking() (*Table, error) {
+	spec := model.GPT2XL2B()
+	cluster := hw.SpotCluster(hw.NC6v3, 63)
+	job, err := sharedJob(spec, cluster, 8192, 53)
+	if err != nil {
+		return nil, err
+	}
+	c, err := job.Configure(9, 7)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := job.Measure(c)
+	if err != nil {
+		return nil, err
+	}
+	flat := c
+	stages, err := model.Partition(spec, job.CutPoints(), 9, false)
+	if err != nil {
+		return nil, err
+	}
+	flat.Stages = stages
+	flatMs, err := job.Testbed().MeasureMiniBatch(testbed.JobConfig{
+		Spec: spec, Stages: flat.Stages, M: flat.M, Nm: flat.Nm, D: flat.D})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: last-stage packing (2.5B, 9x7)",
+		Header: []string{"Partitioning", "Ex/s/GPU", "Imbalance (max/mean fwd)"},
+	}
+	t.Add("head packed into last stage (Varuna)", f2(packed.ExPerSec()/float64(c.GPUsUsed)), f3(model.MaxImbalance(c.Stages)))
+	t.Add("flat compute balance", f2(flatMs.ExPerSec()/float64(c.GPUsUsed)), f3(model.MaxImbalance(flat.Stages)))
+	return t, nil
+}

@@ -1,0 +1,118 @@
+// Package gantt renders pipeline execution traces as text Gantt charts
+// (the Figure 7 visualization) and schedule order strips (Figure 4).
+package gantt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// taskRune maps a task kind to its chart glyph: forward '▒' (red in
+// the paper), backward '█' (green), recompute '░' (orange).
+func taskRune(k schedule.Kind) rune {
+	switch k {
+	case schedule.Forward:
+		return '▒'
+	case schedule.Backward:
+		return '█'
+	case schedule.Recompute:
+		return '░'
+	default:
+		return '?'
+	}
+}
+
+// Render draws the trace as one row per stage over width columns,
+// earliest stage on top. Idle time is '·'.
+func Render(trace []sim.TaskSpan, depth int, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var end simtime.Time
+	for _, s := range trace {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	if end == 0 {
+		return ""
+	}
+	rows := make([][]rune, depth)
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat("·", width))
+	}
+	for _, s := range trace {
+		lo := int(int64(s.Start) * int64(width) / int64(end))
+		hi := int(int64(s.End) * int64(width) / int64(end))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		r := taskRune(s.Task.Kind)
+		for c := lo; c < hi; c++ {
+			rows[s.Stage][c] = r
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "S%-3d %s\n", i+1, string(rows[i]))
+	}
+	fmt.Fprintf(&b, "     0%s%v\n", strings.Repeat(" ", width-10), simtime.Duration(end))
+	fmt.Fprintf(&b, "     ▒ forward  █ backward  ░ recompute  · idle\n")
+	return b.String()
+}
+
+// OrderStrips renders the per-stage task orders the way Figure 4
+// prints them (S1 at the bottom).
+func OrderStrips(s *schedule.Schedule) string {
+	var b strings.Builder
+	for st := s.Depth - 1; st >= 0; st-- {
+		fmt.Fprintf(&b, "S%d %s\n", st+1, s.Orders[st])
+	}
+	return b.String()
+}
+
+// CSV emits the trace as "stage,kind,micro,start_us,end_us" rows for
+// external plotting, sorted by start time.
+func CSV(trace []sim.TaskSpan) string {
+	sorted := append([]sim.TaskSpan(nil), trace...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].Stage < sorted[j].Stage
+	})
+	var b strings.Builder
+	b.WriteString("stage,kind,micro,start_us,end_us\n")
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%d\n", s.Stage, s.Task.Kind, s.Task.Micro+1, int64(s.Start), int64(s.End))
+	}
+	return b.String()
+}
+
+// Utilization summarizes per-stage busy fractions of a trace.
+func Utilization(trace []sim.TaskSpan, depth int) []float64 {
+	busy := make([]simtime.Duration, depth)
+	var end simtime.Time
+	for _, s := range trace {
+		busy[s.Stage] += s.End.Sub(s.Start)
+		if s.End > end {
+			end = s.End
+		}
+	}
+	out := make([]float64, depth)
+	if end == 0 {
+		return out
+	}
+	for i, b := range busy {
+		out[i] = float64(b) / float64(end)
+	}
+	return out
+}

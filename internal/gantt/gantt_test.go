@@ -1,0 +1,156 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+func trace(t *testing.T) ([]sim.TaskSpan, int) {
+	t.Helper()
+	res, err := sim.Run(sim.Config{
+		Depth: 4, Micros: 5, Policy: schedule.Varuna,
+		Costs: sim.UnitCosts(4, simtime.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace, 4
+}
+
+func TestRenderShape(t *testing.T) {
+	tr, depth := trace(t)
+	out := Render(tr, depth, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != depth+2 {
+		t.Fatalf("got %d lines, want %d rows + axis + legend", len(lines), depth+2)
+	}
+	if !strings.HasPrefix(lines[0], "S1") || !strings.HasPrefix(lines[3], "S4") {
+		t.Fatalf("row labels wrong:\n%s", out)
+	}
+	// Last stage never recomputes under Varuna.
+	if strings.ContainsRune(lines[3], '░') {
+		t.Fatalf("S4 shows recompute:\n%s", out)
+	}
+	// Other stages do.
+	if !strings.ContainsRune(lines[0], '░') {
+		t.Fatalf("S1 shows no recompute:\n%s", out)
+	}
+	if Render(nil, 2, 40) != "" {
+		t.Fatal("empty trace must render empty")
+	}
+	// Narrow widths clamp rather than panic.
+	if Render(tr, depth, 1) == "" {
+		t.Fatal("narrow render must still work")
+	}
+}
+
+func TestOrderStrips(t *testing.T) {
+	s, err := schedule.GPipe(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := OrderStrips(s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Figure 4 layout: S3 on top, S1 at the bottom.
+	if !strings.HasPrefix(lines[0], "S3") || !strings.HasPrefix(lines[2], "S1") {
+		t.Fatalf("strip order wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "F1 F2 B2 R1 B1") {
+		t.Fatalf("S1 order wrong:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tr, _ := trace(t)
+	out := CSV(tr)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "stage,kind,micro,start_us,end_us" {
+		t.Fatal("header wrong")
+	}
+	if len(lines) != len(tr)+1 {
+		t.Fatalf("%d rows for %d spans", len(lines)-1, len(tr))
+	}
+	// Sorted by start time.
+	prev := int64(-1)
+	for _, line := range lines[1:] {
+		var stage, micro int
+		var kind string
+		var start, end int64
+		if _, err := fmtSscanf(line, &stage, &kind, &micro, &start, &end); err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		if start < prev {
+			t.Fatal("rows not sorted by start")
+		}
+		prev = start
+		if end <= start {
+			t.Fatal("empty span in CSV")
+		}
+	}
+}
+
+// fmtSscanf parses a CSV row.
+func fmtSscanf(line string, stage *int, kind *string, micro *int, start, end *int64) (int, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 5 {
+		return 0, errBad(line)
+	}
+	var err error
+	*stage, err = atoi(parts[0])
+	if err != nil {
+		return 0, err
+	}
+	*kind = parts[1]
+	*micro, err = atoi(parts[2])
+	if err != nil {
+		return 0, err
+	}
+	s, err := atoi(parts[3])
+	if err != nil {
+		return 0, err
+	}
+	e, err := atoi(parts[4])
+	if err != nil {
+		return 0, err
+	}
+	*start, *end = int64(s), int64(e)
+	return 5, nil
+}
+
+type errBad string
+
+func (e errBad) Error() string { return "bad row: " + string(e) }
+
+func atoi(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBad(s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+func TestUtilization(t *testing.T) {
+	tr, depth := trace(t)
+	u := Utilization(tr, depth)
+	if len(u) != depth {
+		t.Fatal("length")
+	}
+	for i, v := range u {
+		if v <= 0 || v > 1 {
+			t.Fatalf("stage %d utilization %v out of range", i, v)
+		}
+	}
+	if z := Utilization(nil, 2); z[0] != 0 || z[1] != 0 {
+		t.Fatal("empty trace utilization must be zero")
+	}
+}

@@ -1,0 +1,148 @@
+// Package hw is the hardware catalogue for the Varuna testbed. It
+// describes GPUs, VM shapes and network links with the parameters the
+// paper's evaluation environment exposes: V100 GPUs in Azure NC6_v3
+// (1-GPU) and NC24_v3 (4-GPU) low-priority VMs on 10 Gbps ethernet, and
+// a "hypercluster" of DGX-2 nodes (16 V100s on NVLink) joined by
+// 200 Gbps Infiniband.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// GPU describes an accelerator model.
+type GPU struct {
+	Name string
+	// MemoryBytes is the usable device memory.
+	MemoryBytes int64
+	// PeakFlops is the peak mixed-precision throughput in FLOP/s.
+	PeakFlops float64
+}
+
+// V100 is the Nvidia Volta 100 with 16 GB used throughout the paper.
+var V100 = GPU{
+	Name:        "V100-16GB",
+	MemoryBytes: 16 << 30,
+	PeakFlops:   125e12, // tensor-core fp16 peak
+}
+
+// LinkKind identifies a class of interconnect.
+type LinkKind int
+
+// Interconnect classes, slowest to fastest.
+const (
+	LinkEthernet LinkKind = iota // commodity datacenter ethernet
+	LinkPCIe                     // intra-node PCIe between GPUs
+	LinkInfiniband
+	LinkNVLink
+)
+
+// String names the link kind.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkEthernet:
+		return "ethernet"
+	case LinkPCIe:
+		return "pcie"
+	case LinkInfiniband:
+		return "infiniband"
+	case LinkNVLink:
+		return "nvlink"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Link describes one interconnect class.
+type Link struct {
+	Kind LinkKind
+	// BandwidthBps is the achievable point-to-point bandwidth in
+	// bytes per second (not bits).
+	BandwidthBps float64
+	// Latency is the one-way base latency.
+	Latency simtime.Duration
+	// JitterCV is the coefficient of variation applied to transfer
+	// times; commodity networks have high jitter, NVLink almost none.
+	JitterCV float64
+}
+
+// Standard links. Ethernet is 10 Gb/s line rate with ~70% achievable
+// goodput through bottleneck switches (the paper notes VMs "have no
+// other locality" and may cross multiple oversubscribed switch levels).
+var (
+	Ethernet10G = Link{Kind: LinkEthernet, BandwidthBps: 0.70 * 10e9 / 8, Latency: 500 * simtime.Microsecond, JitterCV: 0.25}
+	PCIe3       = Link{Kind: LinkPCIe, BandwidthBps: 12e9, Latency: 10 * simtime.Microsecond, JitterCV: 0.02}
+	IB200G      = Link{Kind: LinkInfiniband, BandwidthBps: 0.85 * 200e9 / 8, Latency: 5 * simtime.Microsecond, JitterCV: 0.02}
+	NVLink      = Link{Kind: LinkNVLink, BandwidthBps: 150e9, Latency: 2 * simtime.Microsecond, JitterCV: 0.01}
+)
+
+// VMType describes a virtual machine shape.
+type VMType struct {
+	Name     string
+	GPUs     int
+	GPU      GPU
+	Intra    Link // link between GPUs of the same VM
+	HourCost float64
+}
+
+// Azure VM shapes from the paper's experimental setup. Low-priority
+// prices are roughly 5x below dedicated.
+var (
+	// NC6v3 is the 1-GPU V100 VM.
+	NC6v3 = VMType{Name: "NC6_v3", GPUs: 1, GPU: V100, Intra: Ethernet10G, HourCost: 0.612}
+	// NC24v3 is the 4-GPU V100 VM; GPUs inside share PCIe.
+	NC24v3 = VMType{Name: "NC24_v3", GPUs: 4, GPU: V100, Intra: PCIe3, HourCost: 2.448}
+	// DGX2 is a hypercluster node: 16 V100s on NVLink.
+	DGX2 = VMType{Name: "DGX-2", GPUs: 16, GPU: V100, Intra: NVLink, HourCost: 12.24 * 5}
+)
+
+// Cluster describes a homogeneous pool of VMs plus the inter-node link.
+type Cluster struct {
+	Name  string
+	VM    VMType
+	Nodes int
+	Inter Link
+	// LowPriority marks spot capacity subject to preemption.
+	LowPriority bool
+}
+
+// NumGPUs reports the total GPU count.
+func (c Cluster) NumGPUs() int { return c.Nodes * c.VM.GPUs }
+
+// GPUHourCost reports the per-GPU-hour dollar cost.
+func (c Cluster) GPUHourCost() float64 { return c.VM.HourCost / float64(c.VM.GPUs) }
+
+// LinkBetween reports the link joining two GPU ranks under the
+// cluster's node packing (rank / VM.GPUs identifies the node).
+func (c Cluster) LinkBetween(rankA, rankB int) Link {
+	if rankA/c.VM.GPUs == rankB/c.VM.GPUs {
+		return c.VM.Intra
+	}
+	return c.Inter
+}
+
+// SpotCluster builds the paper's commodity setting: nGPUs spread over
+// low-priority VMs of the given shape on 10 GbE.
+func SpotCluster(vm VMType, nGPUs int) Cluster {
+	nodes := (nGPUs + vm.GPUs - 1) / vm.GPUs
+	return Cluster{
+		Name:        fmt.Sprintf("spot-%s-%dgpu", vm.Name, nGPUs),
+		VM:          vm,
+		Nodes:       nodes,
+		Inter:       Ethernet10G,
+		LowPriority: true,
+	}
+}
+
+// Hypercluster builds the paper's dedicated setting: DGX-2 nodes on
+// 200 Gbps Infiniband.
+func Hypercluster(nodes int) Cluster {
+	return Cluster{
+		Name:  fmt.Sprintf("hypercluster-%dxDGX2", nodes),
+		VM:    DGX2,
+		Nodes: nodes,
+		Inter: IB200G,
+	}
+}

@@ -1,0 +1,77 @@
+package hw
+
+import "testing"
+
+func TestLinkKindString(t *testing.T) {
+	if LinkEthernet.String() != "ethernet" || LinkNVLink.String() != "nvlink" {
+		t.Fatal("LinkKind names wrong")
+	}
+	if LinkKind(99).String() != "LinkKind(99)" {
+		t.Fatal("unknown LinkKind formatting wrong")
+	}
+}
+
+func TestLinkOrdering(t *testing.T) {
+	// Sanity: bandwidth hierarchy matches reality.
+	if !(Ethernet10G.BandwidthBps < PCIe3.BandwidthBps &&
+		PCIe3.BandwidthBps < IB200G.BandwidthBps &&
+		IB200G.BandwidthBps < NVLink.BandwidthBps) {
+		t.Fatal("link bandwidth hierarchy violated")
+	}
+	if Ethernet10G.JitterCV <= NVLink.JitterCV {
+		t.Fatal("commodity ethernet must have more jitter than NVLink")
+	}
+}
+
+func TestSpotClusterShapes(t *testing.T) {
+	c := SpotCluster(NC6v3, 300)
+	if c.Nodes != 300 || c.NumGPUs() != 300 {
+		t.Fatalf("1-GPU cluster: nodes=%d gpus=%d", c.Nodes, c.NumGPUs())
+	}
+	c4 := SpotCluster(NC24v3, 300)
+	if c4.Nodes != 75 || c4.NumGPUs() != 300 {
+		t.Fatalf("4-GPU cluster: nodes=%d gpus=%d", c4.Nodes, c4.NumGPUs())
+	}
+	if !c.LowPriority {
+		t.Fatal("spot cluster must be low priority")
+	}
+	// Ragged GPU counts round the node count up.
+	if SpotCluster(NC24v3, 294).Nodes != 74 {
+		t.Fatal("ragged cluster must round nodes up")
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	c := SpotCluster(NC24v3, 16)
+	if got := c.LinkBetween(0, 3); got.Kind != LinkPCIe {
+		t.Fatalf("same-node link = %v, want pcie", got.Kind)
+	}
+	if got := c.LinkBetween(0, 4); got.Kind != LinkEthernet {
+		t.Fatalf("cross-node link = %v, want ethernet", got.Kind)
+	}
+	hc := Hypercluster(16)
+	if got := hc.LinkBetween(0, 15); got.Kind != LinkNVLink {
+		t.Fatalf("within DGX-2 = %v, want nvlink", got.Kind)
+	}
+	if got := hc.LinkBetween(0, 16); got.Kind != LinkInfiniband {
+		t.Fatalf("across DGX-2 = %v, want infiniband", got.Kind)
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	// Low-pri per-GPU-hour should be ~5x cheaper than the dedicated
+	// hypercluster per-GPU-hour.
+	spot := SpotCluster(NC6v3, 1).GPUHourCost()
+	hc := Hypercluster(1).GPUHourCost()
+	ratio := hc / spot
+	if ratio < 4 || ratio > 7 {
+		t.Fatalf("dedicated/spot cost ratio = %.2f, want ≈5", ratio)
+	}
+}
+
+func TestHyperclusterGPUs(t *testing.T) {
+	hc := Hypercluster(16)
+	if hc.NumGPUs() != 256 {
+		t.Fatalf("16 DGX-2 = %d GPUs, want 256", hc.NumGPUs())
+	}
+}

@@ -1,0 +1,322 @@
+// Package manager implements the Varuna manager (§4.6): a control
+// plane that tracks the spot-VM fleet through heartbeats, detects
+// preemptions (missed heartbeats) and fail-stutter VMs (per-micro-batch
+// compute-time outliers), grows the cluster through the provisioning
+// API, and triggers job morphing whenever the usable GPU set changes.
+// It also drives continuous checkpointing so that a preempted job
+// resumes from the last mini-batch boundary.
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/autoconfig"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+	"repro/internal/testbed"
+)
+
+// Options tunes the manager.
+type Options struct {
+	// CheckpointEvery is the checkpoint cadence in mini-batches.
+	CheckpointEvery int
+	// MorphOverhead is the downtime of one reconfiguration: stopping
+	// tasks, re-partitioning, loading the checkpoint shards.
+	MorphOverhead simtime.Duration
+	// CheckpointOverhead is the stall per checkpoint (local SSD write;
+	// cloud upload happens in the background, §4.5).
+	CheckpointOverhead simtime.Duration
+	// StragglerThreshold flags a VM whose compute heartbeat exceeds
+	// the fleet median by this factor (§4.6 reports ~30% stutters).
+	StragglerThreshold float64
+}
+
+// DefaultOptions mirrors the deployment described in the paper.
+func DefaultOptions() Options {
+	return Options{
+		CheckpointEvery:    8,
+		MorphOverhead:      4 * simtime.Minute,
+		CheckpointOverhead: 15 * simtime.Second,
+		StragglerThreshold: 1.20,
+	}
+}
+
+// DetectStragglers returns the VM ids whose reported per-micro-batch
+// compute time exceeds threshold × fleet median — the fail-stutter
+// correction of §4.6. Needs at least 3 reports to be meaningful.
+func DetectStragglers(heartbeats map[int]float64, threshold float64) []int {
+	if len(heartbeats) < 3 {
+		return nil
+	}
+	times := make([]float64, 0, len(heartbeats))
+	for _, t := range heartbeats {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+	median := times[len(times)/2]
+	var out []int
+	for id, t := range heartbeats {
+		if t > threshold*median {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TimelinePoint is one sample of the training timeline (Figure 8).
+type TimelinePoint struct {
+	At simtime.Time
+	// GPUs usable at this moment (excluding flagged stragglers).
+	GPUs int
+	// Config is the active P×D choice (zero if the job is down).
+	Config autoconfig.Choice
+	// ExPerSec is the whole-job throughput of the running segment.
+	ExPerSec float64
+	// Event labels what happened: "morph", "p" (replacement without
+	// config change, as in Figure 8), "checkpoint", "down", "".
+	Event string
+}
+
+// Stats summarizes a timeline run.
+type Stats struct {
+	// Examples is the total training examples processed.
+	Examples float64
+	// MiniBatches is completed mini-batch count.
+	MiniBatches int
+	// Morphs counts configuration changes; Replacements counts
+	// morph events that kept the same P×D.
+	Morphs, Replacements int
+	// Preemptions and Allocations count fleet events.
+	Preemptions, Allocations int
+	// Checkpoints counts completed checkpoints; LostMiniBatches is
+	// work discarded by preemption rollbacks.
+	Checkpoints     int
+	LostMiniBatches int
+	// StragglersExcluded counts VMs removed for fail-stutter.
+	StragglersExcluded int
+	// Downtime is time spent not training (morphing, restarting).
+	Downtime simtime.Duration
+}
+
+// Manager replays a spot-market event trace against a testbed-backed
+// job, morphing as the fleet changes.
+type Manager struct {
+	In   autoconfig.Inputs
+	TB   *testbed.Testbed
+	Opts Options
+
+	rng *simtime.Rand
+}
+
+// New builds a manager.
+func New(in autoconfig.Inputs, tb *testbed.Testbed, opts Options, seed int64) *Manager {
+	return &Manager{In: in, TB: tb, Opts: opts, rng: simtime.NewRand(seed)}
+}
+
+// vmInfo tracks one live VM.
+type vmInfo struct {
+	gpus  int
+	speed float64 // hidden fail-stutter factor
+	slow  bool    // flagged by the manager
+}
+
+// RunTimeline replays events until horizon and returns the timeline and
+// statistics. Fleet changes trigger morphing; a preemption additionally
+// rolls the job back to the last checkpoint. Throughput within a stable
+// segment is measured once on the testbed and reused.
+func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([]TimelinePoint, Stats, error) {
+	var (
+		points  []TimelinePoint
+		stats   Stats
+		live    = make(map[int]*vmInfo)
+		now     simtime.Time
+		evIdx   int
+		current autoconfig.Choice
+		running bool
+		// mini-batches since last checkpoint (lost on preemption)
+		sinceCkpt int
+		mbTime    simtime.Duration
+		// Spot fleets revisit the same sizes constantly; cache the
+		// morph decision per usable-GPU count and the measured
+		// mini-batch time per configuration.
+		choiceCache = make(map[int]autoconfig.Choice)
+		choiceFail  = make(map[int]bool)
+		mbCache     = make(map[[2]int]simtime.Duration)
+		exCache     = make(map[[2]int]float64)
+	)
+
+	usableGPUs := func() int {
+		g := 0
+		for _, vm := range live {
+			if !vm.slow {
+				g += vm.gpus
+			}
+		}
+		return g
+	}
+
+	// flagStragglers runs the fail-stutter detector over simulated
+	// compute heartbeats.
+	flagStragglers := func() {
+		hb := make(map[int]float64, len(live))
+		for id, vm := range live {
+			if vm.slow {
+				continue
+			}
+			hb[id] = vm.speed * (1 + 0.02*mg.rng.NormFloat64())
+		}
+		for _, id := range DetectStragglers(hb, mg.Opts.StragglerThreshold) {
+			live[id].slow = true
+			stats.StragglersExcluded++
+		}
+	}
+
+	// morph reconfigures to the current usable fleet. Fleet sizes are
+	// quantized (rounded down, ~2% steps) before the sweep: a one-GPU
+	// delta never changes the best configuration materially, and
+	// quantization keeps the decision cache hot across the constant
+	// single-VM churn of a spot fleet.
+	morph := func(label string) {
+		flagStragglers()
+		g := usableGPUs()
+		if q := g / 50; q > 0 {
+			g -= g % (q + 1)
+		}
+		stats.Downtime += mg.Opts.MorphOverhead
+		now = now.Add(mg.Opts.MorphOverhead)
+		choice, ok := choiceCache[g]
+		if !ok && !choiceFail[g] {
+			var err error
+			choice, err = autoconfig.Best(mg.In, g)
+			if err != nil {
+				choiceFail[g] = true
+			} else {
+				choiceCache[g] = choice
+			}
+		}
+		if choiceFail[g] {
+			running = false
+			points = append(points, TimelinePoint{At: now, GPUs: g, Event: "down"})
+			return
+		}
+		if running && choice.P == current.P && choice.D == current.D {
+			label = "p" // replacement, no config change (Figure 8)
+			stats.Replacements++
+		} else {
+			stats.Morphs++
+		}
+		current = choice
+		running = true
+		// One measured mini-batch characterizes the segment.
+		key := [2]int{choice.P, choice.D}
+		if _, ok := mbCache[key]; !ok {
+			ms, err := mg.TB.MeasureMiniBatch(testbed.JobConfig{
+				Spec:   mg.In.Spec,
+				Stages: choice.Stages,
+				M:      choice.M,
+				Nm:     choice.Nm,
+				D:      choice.D,
+			})
+			if err != nil {
+				running = false
+				return
+			}
+			mbCache[key] = ms.MiniBatchTime
+			exCache[key] = ms.ExPerSec()
+		}
+		mbTime = mbCache[key]
+		points = append(points, TimelinePoint{
+			At: now, GPUs: g, Config: choice, ExPerSec: exCache[key], Event: label,
+		})
+	}
+
+	applyEvent := func(e spot.Event) bool {
+		switch e.Kind {
+		case spot.Alloc:
+			speed := 1.0
+			if mg.rng.Float64() < 0.05 { // ~1 in 20 VMs fail-stutters
+				speed = 1.25 + 0.15*mg.rng.Float64()
+			}
+			live[e.VM] = &vmInfo{gpus: e.GPUs, speed: speed}
+			stats.Allocations++
+			return false
+		case spot.Preempt:
+			delete(live, e.VM)
+			stats.Preemptions++
+			return true
+		}
+		return false
+	}
+
+	hz := simtime.Time(horizon)
+	for now < hz {
+		// Apply all events due now; batch arrivals into one morph.
+		fleetChanged := false
+		preempted := false
+		for evIdx < len(events) && events[evIdx].At <= now {
+			pre := applyEvent(events[evIdx])
+			preempted = preempted || pre
+			fleetChanged = true
+			evIdx++
+		}
+		if preempted && running {
+			// Roll back to the last checkpoint.
+			stats.LostMiniBatches += sinceCkpt
+			stats.Examples -= float64(sinceCkpt * current.Examples)
+			stats.MiniBatches -= sinceCkpt
+			sinceCkpt = 0
+		}
+		if fleetChanged || !running {
+			morph("morph")
+			if !running {
+				// Nothing usable: fast-forward to the next event.
+				if evIdx < len(events) {
+					now = simtime.Max(now, events[evIdx].At)
+					continue
+				}
+				break
+			}
+			continue
+		}
+
+		// Train until the next event or horizon.
+		next := hz
+		if evIdx < len(events) && events[evIdx].At < next {
+			next = events[evIdx].At
+		}
+		for now < next {
+			now = now.Add(mbTime)
+			stats.MiniBatches++
+			stats.Examples += float64(current.Examples)
+			sinceCkpt++
+			if sinceCkpt >= mg.Opts.CheckpointEvery {
+				now = now.Add(mg.Opts.CheckpointOverhead)
+				stats.Downtime += mg.Opts.CheckpointOverhead
+				stats.Checkpoints++
+				sinceCkpt = 0
+				points = append(points, TimelinePoint{
+					At: now, GPUs: usableGPUs(), Config: current,
+					ExPerSec: float64(current.Examples) / mbTime.Seconds(),
+					Event:    "checkpoint",
+				})
+			}
+		}
+	}
+	if stats.Examples < 0 {
+		stats.Examples = 0
+	}
+	return points, stats, nil
+}
+
+// Validate sanity-checks options.
+func (o Options) Validate() error {
+	if o.CheckpointEvery < 1 {
+		return fmt.Errorf("manager: CheckpointEvery must be ≥ 1")
+	}
+	if o.StragglerThreshold <= 1 {
+		return fmt.Errorf("manager: StragglerThreshold must exceed 1")
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package manager
+
+import (
+	"testing"
+
+	"repro/internal/autoconfig"
+	"repro/internal/calibrate"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+	"repro/internal/testbed"
+)
+
+func TestDetectStragglers(t *testing.T) {
+	hb := map[int]float64{1: 1.0, 2: 1.02, 3: 0.98, 4: 1.35, 5: 1.01}
+	got := DetectStragglers(hb, 1.2)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("stragglers = %v, want [4]", got)
+	}
+	// Too few reports: no flags.
+	if DetectStragglers(map[int]float64{1: 1, 2: 9}, 1.2) != nil {
+		t.Fatal("2 reports must not flag")
+	}
+	// Healthy fleet: no flags.
+	if got := DetectStragglers(map[int]float64{1: 1, 2: 1.01, 3: 0.99, 4: 1.02}, 1.2); len(got) != 0 {
+		t.Fatalf("healthy fleet flagged: %v", got)
+	}
+}
+
+func TestDetectStragglersMultiple(t *testing.T) {
+	hb := map[int]float64{}
+	for i := 0; i < 20; i++ {
+		hb[i] = 1.0 + float64(i%3)*0.01
+	}
+	hb[7] = 1.4
+	hb[13] = 1.3
+	got := DetectStragglers(hb, 1.2)
+	if len(got) != 2 || got[0] != 7 || got[1] != 13 {
+		t.Fatalf("stragglers = %v, want [7 13]", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.CheckpointEvery = 0
+	if bad.Validate() == nil {
+		t.Fatal("CheckpointEvery=0 must fail")
+	}
+	bad = DefaultOptions()
+	bad.StragglerThreshold = 0.9
+	if bad.Validate() == nil {
+		t.Fatal("threshold<1 must fail")
+	}
+}
+
+func managerFor(t *testing.T) *Manager {
+	t.Helper()
+	cluster := hw.SpotCluster(hw.NC6v3, 150)
+	tb := testbed.New(cluster, 31)
+	spec := model.GPT2XL2B()
+	params, err := calibrate.Run(spec, tb, calibrate.Options{
+		MicroSizes:  []int{4, 8},
+		GPUsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := model.FindCutPoints(spec, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := autoconfig.Inputs{
+		Spec:        spec,
+		Cuts:        cuts,
+		Params:      params,
+		GPUMem:      16 << 30,
+		MTotal:      8192,
+		GPUsPerNode: 1,
+	}
+	return New(in, tb, DefaultOptions(), 77)
+}
+
+func TestRunTimelineMorphsWithFleet(t *testing.T) {
+	mg := managerFor(t)
+	mk := spot.NewMarket(1, 120, 55)
+	events := spot.EventTrace(mk, 150, 12*simtime.Hour, 10*simtime.Minute)
+	points, stats, err := mg.RunTimeline(events, 12*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no timeline points")
+	}
+	if stats.MiniBatches <= 0 || stats.Examples <= 0 {
+		t.Fatalf("no training happened: %+v", stats)
+	}
+	if stats.Morphs == 0 {
+		t.Fatal("a 12-hour spot run must morph at least once")
+	}
+	if stats.Preemptions == 0 {
+		t.Fatal("trace should contain preemptions")
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("continuous checkpointing never ran")
+	}
+	// Time monotone; GPUs never negative.
+	for i := 1; i < len(points); i++ {
+		if points[i].At < points[i-1].At {
+			t.Fatal("timeline must be monotone")
+		}
+		if points[i].GPUs < 0 {
+			t.Fatal("negative GPUs")
+		}
+	}
+}
+
+func TestTimelinePerGPUStability(t *testing.T) {
+	// Figure 8's takeaway: total throughput swings with the fleet
+	// (up to 5x) while per-GPU throughput stays within a much
+	// tighter band (~15%). Check the per-GPU spread across morphs is
+	// far smaller than the total spread.
+	mg := managerFor(t)
+	mk := spot.NewMarket(1, 120, 99)
+	events := spot.EventTrace(mk, 150, 24*simtime.Hour, 10*simtime.Minute)
+	points, _, err := mg.RunTimeline(events, 24*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totMin, totMax, perMin, perMax float64
+	n := 0
+	for _, p := range points {
+		if p.ExPerSec <= 0 || p.GPUs <= 0 || p.Config.GPUsUsed == 0 {
+			continue
+		}
+		per := p.ExPerSec / float64(p.Config.GPUsUsed)
+		if n == 0 {
+			totMin, totMax, perMin, perMax = p.ExPerSec, p.ExPerSec, per, per
+		}
+		n++
+		totMin = min(totMin, p.ExPerSec)
+		totMax = max(totMax, p.ExPerSec)
+		perMin = min(perMin, per)
+		perMax = max(perMax, per)
+	}
+	if n < 3 {
+		t.Skip("not enough morph segments to compare")
+	}
+	totSpread := totMax / totMin
+	perSpread := perMax / perMin
+	if perSpread >= totSpread {
+		t.Fatalf("per-GPU spread %.2f must be tighter than total spread %.2f", perSpread, totSpread)
+	}
+	if perSpread > 1.8 {
+		t.Fatalf("per-GPU throughput spread %.2f too wide (paper: ~15%%)", perSpread)
+	}
+}
+
+func TestPreemptionRollsBackToCheckpoint(t *testing.T) {
+	mg := managerFor(t)
+	// Hand-built trace: a stable fleet, then one preemption.
+	var events []spot.Event
+	for i := 0; i < 72; i++ {
+		events = append(events, spot.Event{At: 0, Kind: spot.Alloc, VM: i, GPUs: 1})
+	}
+	events = append(events, spot.Event{At: simtime.Time(4 * simtime.Hour), Kind: spot.Preempt, VM: 3, GPUs: 1})
+	_, stats, err := mg.RunTimeline(events, 8*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", stats.Preemptions)
+	}
+	if stats.LostMiniBatches < 0 || stats.LostMiniBatches >= mg.Opts.CheckpointEvery {
+		t.Fatalf("lost work %d outside [0, CheckpointEvery)", stats.LostMiniBatches)
+	}
+	if stats.Examples <= 0 {
+		t.Fatal("training made no progress")
+	}
+}
+
+func TestTimelineDeterminism(t *testing.T) {
+	run := func() Stats {
+		mg := managerFor(t)
+		mk := spot.NewMarket(1, 120, 5)
+		events := spot.EventTrace(mk, 140, 6*simtime.Hour, 10*simtime.Minute)
+		_, stats, err := mg.RunTimeline(events, 6*simtime.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seeds must give identical stats:\n%+v\n%+v", a, b)
+	}
+}

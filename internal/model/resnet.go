@@ -1,0 +1,96 @@
+package model
+
+import "fmt"
+
+// The paper notes Varuna "does not make any assumptions about the DNN"
+// (§7) and names ResNet-150 among the repetitive-structure models its
+// cut-point machinery handles (§5.1). This file builds convolutional
+// residual-network specs with the same Op vocabulary the transformer
+// builder uses, so cut-point identification, partitioning, memory
+// accounting and the simulator all work unchanged.
+
+// ResNetShape describes one stage of a residual network.
+type ResNetShape struct {
+	// Blocks is the number of residual blocks in the stage.
+	Blocks int
+	// Channels is the stage's output channel count.
+	Channels int
+	// Spatial is the feature-map side length within the stage.
+	Spatial int
+}
+
+// BuildResNet constructs a residual CNN spec for images of the given
+// input resolution. Each residual block becomes three ops (two 3×3
+// convolutions and the residual add); boundaries inside a block carry
+// the full feature map, while stage transitions halve the spatial size
+// — the low-activation boundaries the cut-point finder should prefer.
+func BuildResNet(name string, shapes []ResNetShape, inputRes, classes int) *Spec {
+	s := &Spec{
+		Name:      name,
+		NumLayers: 0,
+		Hidden:    shapes[len(shapes)-1].Channels,
+		SeqLen:    inputRes,
+		Vocab:     classes,
+	}
+	actBytes := func(ch, sp int) int64 {
+		return int64(ch) * int64(sp) * int64(sp) * BytesPerActivation
+	}
+	// Stem convolution.
+	stemCh := shapes[0].Channels
+	stemSp := shapes[0].Spatial
+	stemParams := int64(7 * 7 * 3 * stemCh)
+	s.Ops = append(s.Ops, Op{
+		Name:     "stem",
+		Params:   stemParams,
+		FwdFlops: 2 * float64(stemParams) * float64(stemSp*stemSp),
+		OutBytes: actBytes(stemCh, stemSp),
+	})
+	prevCh := stemCh
+	for si, sh := range shapes {
+		for b := 0; b < sh.Blocks; b++ {
+			inCh := sh.Channels
+			if b == 0 {
+				inCh = prevCh
+			}
+			conv1 := int64(3 * 3 * inCh * sh.Channels)
+			conv2 := int64(3 * 3 * sh.Channels * sh.Channels)
+			sp2 := float64(sh.Spatial * sh.Spatial)
+			s.Ops = append(s.Ops,
+				Op{
+					Name:     fmt.Sprintf("stage%d/block%d/conv1", si, b),
+					Params:   conv1,
+					FwdFlops: 2 * float64(conv1) * sp2,
+					OutBytes: actBytes(sh.Channels, sh.Spatial),
+				},
+				Op{
+					Name:     fmt.Sprintf("stage%d/block%d/conv2", si, b),
+					Params:   conv2,
+					FwdFlops: 2 * float64(conv2) * sp2,
+					OutBytes: actBytes(sh.Channels, sh.Spatial),
+				},
+			)
+			s.NumLayers++
+		}
+		prevCh = sh.Channels
+	}
+	// Classifier head.
+	headParams := int64(prevCh * classes)
+	s.Ops = append(s.Ops, Op{
+		Name:     "classifier",
+		Params:   headParams,
+		FwdFlops: 2 * float64(headParams),
+		OutBytes: int64(classes) * BytesPerActivation,
+	})
+	return s
+}
+
+// ResNet152 approximates the deep residual network the paper mentions:
+// 50 residual blocks over four stages at ImageNet resolution.
+func ResNet152() *Spec {
+	return BuildResNet("ResNet-152", []ResNetShape{
+		{Blocks: 3, Channels: 64, Spatial: 56},
+		{Blocks: 8, Channels: 128, Spatial: 28},
+		{Blocks: 36, Channels: 256, Spatial: 14},
+		{Blocks: 3, Channels: 512, Spatial: 7},
+	}, 224, 1000)
+}

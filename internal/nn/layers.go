@@ -1,0 +1,361 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one pipeline-partitionable unit: forward produces the
+// output and a context holding whatever backward needs; backward
+// consumes that context, accumulates parameter gradients, and returns
+// the input gradient. Because the context is explicit, the engine can
+// drop it after forward (gradient checkpointing) and regenerate it by
+// re-running forward from the stashed input — exactly Varuna's
+// recompute (§3.1).
+type Layer interface {
+	// Forward computes the layer output for x.
+	Forward(x *Matrix) (*Matrix, Ctx)
+	// Backward propagates dy through ctx, accumulating into Params.
+	Backward(ctx Ctx, dy *Matrix) *Matrix
+	// Params lists the layer's trainable tensors.
+	Params() []*Param
+	// Name identifies the layer.
+	Name() string
+}
+
+// Ctx is opaque per-micro-batch forward state.
+type Ctx any
+
+// ---- Linear --------------------------------------------------------
+
+// Linear is y = x·W + b (bias optional).
+type Linear struct {
+	name    string
+	In, Out int
+	W, B    *Param // B is nil for bias-free projections
+}
+
+// NewLinear builds a Linear layer with Xavier weights.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		name: name, In: in, Out: out,
+		W: NewParam(name+".W", in*out, XavierInit(rng, in, out)),
+		B: NewParam(name+".b", out, ZeroInit),
+	}
+}
+
+// NewLinearNoBias builds a bias-free Linear layer. The key projection
+// of attention uses this: a key bias shifts every score in a row by the
+// same amount, which softmax cancels — a loss null-direction whose
+// gradient is pure rounding noise that adaptive optimizers then
+// amplify into spurious parameter drift.
+func NewLinearNoBias(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		name: name, In: in, Out: out,
+		W: NewParam(name+".W", in*out, XavierInit(rng, in, out)),
+	}
+}
+
+type linearCtx struct{ x *Matrix }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *Matrix) (*Matrix, Ctx) {
+	w := &Matrix{Rows: l.In, Cols: l.Out, Data: l.W.Value}
+	y := MatMul(x, w)
+	if l.B != nil {
+		for i := 0; i < y.Rows; i++ {
+			row := y.Row(i)
+			for j := range row {
+				row[j] += l.B.Value[j]
+			}
+		}
+	}
+	return y, linearCtx{x: x}
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(linearCtx)
+	dW := MatMulATB(c.x, dy)
+	for i, v := range dW.Data {
+		l.W.Grad[i] += v
+	}
+	if l.B != nil {
+		for i := 0; i < dy.Rows; i++ {
+			row := dy.Row(i)
+			for j := range row {
+				l.B.Grad[j] += row[j]
+			}
+		}
+	}
+	w := &Matrix{Rows: l.In, Cols: l.Out, Data: l.W.Value}
+	return MatMulABT(dy, w)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// ---- Gelu ----------------------------------------------------------
+
+// Gelu is the tanh-approximated GELU activation.
+type Gelu struct{ name string }
+
+// NewGelu builds a GELU layer.
+func NewGelu(name string) *Gelu { return &Gelu{name: name} }
+
+type geluCtx struct{ x *Matrix }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// Forward implements Layer.
+func (g *Gelu) Forward(x *Matrix) (*Matrix, Ctx) {
+	y := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 0.5 * v * (1 + math.Tanh(geluC*(v+0.044715*v*v*v)))
+	}
+	return y, geluCtx{x: x}
+}
+
+// Backward implements Layer.
+func (g *Gelu) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(geluCtx)
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range c.x.Data {
+		u := geluC * (v + 0.044715*v*v*v)
+		t := math.Tanh(u)
+		du := geluC * (1 + 3*0.044715*v*v)
+		d := 0.5*(1+t) + 0.5*v*(1-t*t)*du
+		dx.Data[i] = dy.Data[i] * d
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *Gelu) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (g *Gelu) Name() string { return g.name }
+
+// ---- LayerNorm -----------------------------------------------------
+
+// LayerNorm normalizes each row to zero mean and unit variance, then
+// applies a learned affine transform.
+type LayerNorm struct {
+	name string
+	Dim  int
+	G, B *Param
+}
+
+// NewLayerNorm builds a LayerNorm over dim features.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		name: name, Dim: dim,
+		G: NewParam(name+".g", dim, func(int) float64 { return 1 }),
+		B: NewParam(name+".b", dim, ZeroInit),
+	}
+}
+
+type lnCtx struct {
+	xhat *Matrix
+	invS []float64
+}
+
+const lnEps = 1e-5
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *Matrix) (*Matrix, Ctx) {
+	y := NewMatrix(x.Rows, x.Cols)
+	xhat := NewMatrix(x.Rows, x.Cols)
+	invS := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var varr float64
+		for _, v := range row {
+			d := v - mean
+			varr += d * d
+		}
+		varr /= float64(len(row))
+		inv := 1 / math.Sqrt(varr+lnEps)
+		invS[i] = inv
+		xr := xhat.Row(i)
+		yr := y.Row(i)
+		for j, v := range row {
+			xr[j] = (v - mean) * inv
+			yr[j] = xr[j]*l.G.Value[j] + l.B.Value[j]
+		}
+	}
+	return y, lnCtx{xhat: xhat, invS: invS}
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(lnCtx)
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	n := float64(l.Dim)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xr := c.xhat.Row(i)
+		var sumDxh, sumDxhX float64
+		dxh := make([]float64, l.Dim)
+		for j := range dyr {
+			l.G.Grad[j] += dyr[j] * xr[j]
+			l.B.Grad[j] += dyr[j]
+			dxh[j] = dyr[j] * l.G.Value[j]
+			sumDxh += dxh[j]
+			sumDxhX += dxh[j] * xr[j]
+		}
+		dxr := dx.Row(i)
+		for j := range dyr {
+			dxr[j] = (dxh[j] - sumDxh/n - xr[j]*sumDxhX/n) * c.invS[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.G, l.B} }
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return l.name }
+
+// ---- Embedding -----------------------------------------------------
+
+// Embedding maps token ids (encoded as float64 in a [B, T] matrix) to
+// [B·T, H] vectors plus a learned positional embedding. Its weight can
+// be shared with an OutputProjection (tied embeddings).
+type Embedding struct {
+	name       string
+	Vocab, Dim int
+	SeqLen     int
+	W          *Param // Vocab×Dim
+	Pos        *Param // SeqLen×Dim
+}
+
+// NewEmbedding builds an embedding table.
+func NewEmbedding(name string, vocab, dim, seqLen int, rng *rand.Rand) *Embedding {
+	e := &Embedding{
+		name: name, Vocab: vocab, Dim: dim, SeqLen: seqLen,
+		W:   NewParam(name+".W", vocab*dim, XavierInit(rng, vocab, dim)),
+		Pos: NewParam(name+".pos", seqLen*dim, XavierInit(rng, seqLen, dim)),
+	}
+	return e
+}
+
+type embCtx struct{ ids *Matrix }
+
+// Forward implements Layer.
+func (e *Embedding) Forward(ids *Matrix) (*Matrix, Ctx) {
+	b, t := ids.Rows, ids.Cols
+	if t != e.SeqLen {
+		panic(fmt.Sprintf("nn: embedding expects seq %d, got %d", e.SeqLen, t))
+	}
+	y := NewMatrix(b*t, e.Dim)
+	for i := 0; i < b; i++ {
+		for j := 0; j < t; j++ {
+			id := int(ids.At(i, j))
+			if id < 0 || id >= e.Vocab {
+				panic(fmt.Sprintf("nn: token id %d out of vocab %d", id, e.Vocab))
+			}
+			row := y.Row(i*t + j)
+			wrow := e.W.Value[id*e.Dim : (id+1)*e.Dim]
+			prow := e.Pos.Value[j*e.Dim : (j+1)*e.Dim]
+			for k := range row {
+				row[k] = wrow[k] + prow[k]
+			}
+		}
+	}
+	return y, embCtx{ids: ids}
+}
+
+// Backward implements Layer.
+func (e *Embedding) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(embCtx)
+	b, t := c.ids.Rows, c.ids.Cols
+	for i := 0; i < b; i++ {
+		for j := 0; j < t; j++ {
+			id := int(c.ids.At(i, j))
+			row := dy.Row(i*t + j)
+			wg := e.W.Grad[id*e.Dim : (id+1)*e.Dim]
+			pg := e.Pos.Grad[j*e.Dim : (j+1)*e.Dim]
+			for k, v := range row {
+				wg[k] += v
+				pg[k] += v
+			}
+		}
+	}
+	return nil // token ids carry no gradient
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*Param { return []*Param{e.W, e.Pos} }
+
+// Name implements Layer.
+func (e *Embedding) Name() string { return e.name }
+
+// ---- OutputProjection (tied) ----------------------------------------
+
+// OutputProjection computes logits = x·Wᵀ against the embedding table.
+// When tied to an Embedding it holds its own physical copy of the
+// weight (the two layers may live on different pipeline stages, i.e.
+// different devices) marked Shared under the embedding's parameter
+// name: the engine must synchronize gradients of same-named Shared
+// parameters across stages every mini-batch, exactly the cross-
+// partition state Varuna's tracer flags (§5.2). Failing to do so makes
+// the copies drift — the bug class the tracer exists to catch.
+type OutputProjection struct {
+	name       string
+	Vocab, Dim int
+	W          *Param
+}
+
+// NewOutputProjection ties the projection to the embedding weight by
+// value: identical initialization, same parameter name, both Shared.
+func NewOutputProjection(name string, emb *Embedding) *OutputProjection {
+	emb.W.Shared = true
+	w := &Param{
+		Name:   emb.W.Name,
+		Value:  append([]float64(nil), emb.W.Value...),
+		Grad:   make([]float64, len(emb.W.Grad)),
+		Shared: true,
+	}
+	return &OutputProjection{name: name, Vocab: emb.Vocab, Dim: emb.Dim, W: w}
+}
+
+type projCtx struct{ x *Matrix }
+
+// Forward implements Layer.
+func (o *OutputProjection) Forward(x *Matrix) (*Matrix, Ctx) {
+	w := &Matrix{Rows: o.Vocab, Cols: o.Dim, Data: o.W.Value}
+	return MatMulABT(x, w), projCtx{x: x}
+}
+
+// Backward implements Layer.
+func (o *OutputProjection) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(projCtx)
+	dW := MatMulATB(dy, c.x) // Vocab×Dim
+	for i, v := range dW.Data {
+		o.W.Grad[i] += v
+	}
+	w := &Matrix{Rows: o.Vocab, Cols: o.Dim, Data: o.W.Value}
+	return MatMul(dy, w)
+}
+
+// Params implements Layer.
+func (o *OutputProjection) Params() []*Param { return []*Param{o.W} }
+
+// Name implements Layer.
+func (o *OutputProjection) Name() string { return o.name }

@@ -1,0 +1,163 @@
+// Package nn is a small, deterministic neural-network library used by
+// the real training engine (internal/engine) to validate Varuna's
+// semantic claims — sync-SGD preservation under job morphing, tied
+// weights across partitions, and the divergence of stale-update
+// pipelines — with actual float64 arithmetic rather than cost models.
+//
+// Everything is plain Go with fixed iteration order: two runs with the
+// same seed produce bit-identical results.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ·b (used for weight gradients).
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ar := a.Row(r)
+		br := b.Row(r)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Row(i)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ (used for input gradients).
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float64
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			or[j] = s
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("nn: add shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale multiplies all elements by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for checkpointing and the tracer.
+	Name string
+	// Value and Grad are flat storage; shape is owned by the layer.
+	Value, Grad []float64
+	// Shared marks parameters synchronized across pipeline stages
+	// (tied weights, §5.2).
+	Shared bool
+}
+
+// NewParam allocates a parameter initialized by init.
+func NewParam(name string, n int, init func(i int) float64) *Param {
+	p := &Param{Name: name, Value: make([]float64, n), Grad: make([]float64, n)}
+	for i := range p.Value {
+		p.Value[i] = init(i)
+	}
+	return p
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Init helpers ------------------------------------------------------
+
+// XavierInit returns an initializer drawing from U(−lim, lim) with the
+// Xavier bound for the given fan-in/out, using a deterministic source.
+func XavierInit(rng *rand.Rand, fanIn, fanOut int) func(int) float64 {
+	lim := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return func(int) float64 { return (rng.Float64()*2 - 1) * lim }
+}
+
+// ZeroInit returns zeros (for biases).
+func ZeroInit(int) float64 { return 0 }

@@ -1,0 +1,324 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Block is one pre-norm transformer block: single-head causal
+// self-attention and a GELU MLP, each with a residual connection. It
+// is the repeated unit the cut-point machinery partitions (§5.1).
+type Block struct {
+	name   string
+	Dim    int
+	SeqLen int
+
+	ln1, ln2       *LayerNorm
+	wq, wk, wv, wo *Linear
+	fc1, fc2       *Linear
+	gelu           *Gelu
+}
+
+// NewBlock builds a transformer block of width dim over seqLen tokens.
+func NewBlock(name string, dim, seqLen, mlpMult int, rng *rand.Rand) *Block {
+	return &Block{
+		name: name, Dim: dim, SeqLen: seqLen,
+		ln1:  NewLayerNorm(name+".ln1", dim),
+		ln2:  NewLayerNorm(name+".ln2", dim),
+		wq:   NewLinear(name+".wq", dim, dim, rng),
+		wk:   NewLinearNoBias(name+".wk", dim, dim, rng),
+		wv:   NewLinear(name+".wv", dim, dim, rng),
+		wo:   NewLinear(name+".wo", dim, dim, rng),
+		fc1:  NewLinear(name+".fc1", dim, dim*mlpMult, rng),
+		fc2:  NewLinear(name+".fc2", dim*mlpMult, dim, rng),
+		gelu: NewGelu(name + ".gelu"),
+	}
+}
+
+type blockCtx struct {
+	x *Matrix // block input (for residuals)
+
+	ln1Ctx  Ctx
+	qCtx    Ctx
+	kCtx    Ctx
+	vCtx    Ctx
+	oCtx    Ctx
+	q, k, v *Matrix
+	attn    []*Matrix // per-example softmaxed score matrices
+	mid     *Matrix   // attention output (after residual)
+
+	ln2Ctx  Ctx
+	fc1Ctx  Ctx
+	geluCtx Ctx
+	fc2Ctx  Ctx
+}
+
+// Forward implements Layer.
+func (b *Block) Forward(x *Matrix) (*Matrix, Ctx) {
+	if x.Rows%b.SeqLen != 0 {
+		panic(fmt.Sprintf("nn: block input rows %d not a multiple of seq %d", x.Rows, b.SeqLen))
+	}
+	c := &blockCtx{x: x}
+
+	// Attention sub-layer.
+	var n *Matrix
+	n, c.ln1Ctx = b.ln1.Forward(x)
+	c.q, c.qCtx = b.wq.Forward(n)
+	c.k, c.kCtx = b.wk.Forward(n)
+	c.v, c.vCtx = b.wv.Forward(n)
+
+	batch := x.Rows / b.SeqLen
+	ctxOut := NewMatrix(x.Rows, b.Dim)
+	scale := 1 / math.Sqrt(float64(b.Dim))
+	c.attn = make([]*Matrix, batch)
+	for e := 0; e < batch; e++ {
+		off := e * b.SeqLen
+		a := NewMatrix(b.SeqLen, b.SeqLen)
+		for i := 0; i < b.SeqLen; i++ {
+			qi := c.q.Row(off + i)
+			// Causal: attend to positions ≤ i; softmax over them.
+			maxv := math.Inf(-1)
+			for j := 0; j <= i; j++ {
+				kj := c.k.Row(off + j)
+				var s float64
+				for d := range qi {
+					s += qi[d] * kj[d]
+				}
+				s *= scale
+				a.Set(i, j, s)
+				if s > maxv {
+					maxv = s
+				}
+			}
+			var sum float64
+			for j := 0; j <= i; j++ {
+				v := math.Exp(a.At(i, j) - maxv)
+				a.Set(i, j, v)
+				sum += v
+			}
+			for j := 0; j <= i; j++ {
+				a.Set(i, j, a.At(i, j)/sum)
+			}
+			out := ctxOut.Row(off + i)
+			for j := 0; j <= i; j++ {
+				w := a.At(i, j)
+				vj := c.v.Row(off + j)
+				for d := range out {
+					out[d] += w * vj[d]
+				}
+			}
+		}
+		c.attn[e] = a
+	}
+	var attnOut *Matrix
+	attnOut, c.oCtx = b.wo.Forward(ctxOut)
+	mid := attnOut
+	AddInPlace(mid, x) // residual
+	c.mid = mid
+
+	// MLP sub-layer.
+	var n2, h, g, mlpOut *Matrix
+	n2, c.ln2Ctx = b.ln2.Forward(mid)
+	h, c.fc1Ctx = b.fc1.Forward(n2)
+	g, c.geluCtx = b.gelu.Forward(h)
+	mlpOut, c.fc2Ctx = b.fc2.Forward(g)
+	AddInPlace(mlpOut, mid) // residual
+	return mlpOut, c
+}
+
+// Backward implements Layer.
+func (b *Block) Backward(ctx Ctx, dy *Matrix) *Matrix {
+	c := ctx.(*blockCtx)
+
+	// MLP sub-layer backward (residual: dy flows to both branches).
+	dg := b.fc2.Backward(c.fc2Ctx, dy)
+	dh := b.gelu.Backward(c.geluCtx, dg)
+	dn2 := b.fc1.Backward(c.fc1Ctx, dh)
+	dmid := b.ln2.Backward(c.ln2Ctx, dn2)
+	AddInPlace(dmid, dy)
+
+	// Attention sub-layer backward.
+	dctx := b.wo.Backward(c.oCtx, dmid)
+	batch := c.x.Rows / b.SeqLen
+	scale := 1 / math.Sqrt(float64(b.Dim))
+	dq := NewMatrix(c.x.Rows, b.Dim)
+	dk := NewMatrix(c.x.Rows, b.Dim)
+	dv := NewMatrix(c.x.Rows, b.Dim)
+	for e := 0; e < batch; e++ {
+		off := e * b.SeqLen
+		a := c.attn[e]
+		for i := 0; i < b.SeqLen; i++ {
+			dout := dctx.Row(off + i)
+			// dV and dA.
+			da := make([]float64, i+1)
+			for j := 0; j <= i; j++ {
+				vj := c.v.Row(off + j)
+				dvj := dv.Row(off + j)
+				w := a.At(i, j)
+				var s float64
+				for d := range dout {
+					dvj[d] += w * dout[d]
+					s += dout[d] * vj[d]
+				}
+				da[j] = s
+			}
+			// Softmax backward: ds = a ⊙ (da − Σ a·da).
+			var dot float64
+			for j := 0; j <= i; j++ {
+				dot += a.At(i, j) * da[j]
+			}
+			for j := 0; j <= i; j++ {
+				ds := a.At(i, j) * (da[j] - dot) * scale
+				qi := c.q.Row(off + i)
+				kj := c.k.Row(off + j)
+				dqi := dq.Row(off + i)
+				dkj := dk.Row(off + j)
+				for d := range qi {
+					dqi[d] += ds * kj[d]
+					dkj[d] += ds * qi[d]
+				}
+			}
+		}
+	}
+	dn := b.wq.Backward(c.qCtx, dq)
+	AddInPlace(dn, b.wk.Backward(c.kCtx, dk))
+	AddInPlace(dn, b.wv.Backward(c.vCtx, dv))
+	dx := b.ln1.Backward(c.ln1Ctx, dn)
+	AddInPlace(dx, dmid)
+	return dx
+}
+
+// Params implements Layer.
+func (b *Block) Params() []*Param {
+	var out []*Param
+	for _, l := range []Layer{b.ln1, b.wq, b.wk, b.wv, b.wo, b.ln2, b.fc1, b.fc2} {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Name implements Layer.
+func (b *Block) Name() string { return b.name }
+
+// ---- Loss ----------------------------------------------------------
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of logits
+// [B·T, V] against targets [B, T] (token ids), and the logits gradient
+// scaled for a sum over totalExamples examples (so micro-batch
+// gradients accumulate to exactly the full-batch gradient).
+func SoftmaxCrossEntropy(logits *Matrix, targets *Matrix, totalExamples int) (float64, *Matrix) {
+	bt := logits.Rows
+	t := targets.Cols
+	if targets.Rows*t != bt {
+		panic(fmt.Sprintf("nn: loss shape mismatch: %d logits rows vs %d targets", bt, targets.Rows*t))
+	}
+	dl := NewMatrix(bt, logits.Cols)
+	var loss float64
+	denom := float64(totalExamples * t)
+	for r := 0; r < bt; r++ {
+		row := logits.Row(r)
+		target := int(targets.At(r/t, r%t))
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := math.Log(sum) + maxv
+		loss += logZ - row[target]
+		drow := dl.Row(r)
+		for j, v := range row {
+			p := math.Exp(v-maxv) / sum
+			drow[j] = p / denom
+		}
+		drow[target] -= 1 / denom
+	}
+	return loss / float64(bt), dl
+}
+
+// ---- Model builder --------------------------------------------------
+
+// GPTConfig shapes a miniature GPT.
+type GPTConfig struct {
+	Vocab, Dim, SeqLen, Layers, MLPMult int
+	Seed                                int64
+}
+
+// BuildGPT constructs the layer sequence [Embedding, Block×L,
+// OutputProjection(tied)] deterministically from the seed.
+func BuildGPT(cfg GPTConfig) []Layer {
+	if cfg.MLPMult == 0 {
+		cfg.MLPMult = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	emb := NewEmbedding("embedding", cfg.Vocab, cfg.Dim, cfg.SeqLen, rng)
+	layers := []Layer{emb}
+	for i := 0; i < cfg.Layers; i++ {
+		layers = append(layers, NewBlock(fmt.Sprintf("block%d", i), cfg.Dim, cfg.SeqLen, cfg.MLPMult, rng))
+	}
+	layers = append(layers, NewOutputProjection("lm_head", emb))
+	return layers
+}
+
+// ---- Adam ----------------------------------------------------------
+
+// Adam is the standard Adam optimizer over a parameter set, with state
+// held per parameter (checkpointable).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam builds an optimizer with the usual defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+}
+
+// Step applies one update to params from their accumulated gradients,
+// then clears the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Value))
+			a.v[p] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.Value[i] -= a.LR * (m[i] / b1c) / (math.Sqrt(v[i]/b2c) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// StepCount reports completed optimizer steps.
+func (a *Adam) StepCount() int { return a.step }
+
+// State exposes the Adam moments of p (allocating if absent), for
+// checkpointing.
+func (a *Adam) State(p *Param) (m, v []float64) {
+	if _, ok := a.m[p]; !ok {
+		a.m[p] = make([]float64, len(p.Value))
+		a.v[p] = make([]float64, len(p.Value))
+	}
+	return a.m[p], a.v[p]
+}
+
+// SetStep restores the step counter (checkpoint resume).
+func (a *Adam) SetStep(s int) { a.step = s }

@@ -1,0 +1,260 @@
+// Package schedule defines pipeline micro-batch schedules: the task
+// vocabulary (forward / backward / recompute), per-stage task orders,
+// the scheduling policies of the systems the paper compares (Varuna,
+// GPipe, Megatron-1F1B, DeepSpeed, PipeDream), and validation of
+// schedule legality (dependency order, recompute coverage, activation
+// memory).
+//
+// Varuna's own schedule (§3.2) is rule-based and partly dynamic: stages
+// follow a static order generated offline but deviate opportunistically
+// under network jitter. The rules are implemented by the executor in
+// internal/sim; this package produces the strict comparison schedules
+// and the shared types.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind labels a pipeline task.
+type Kind int
+
+// Task kinds. Backward takes roughly twice as long as Forward;
+// Recompute equals Forward (§2).
+const (
+	Forward Kind = iota
+	Backward
+	Recompute
+)
+
+// String returns the single-letter task code used in Figure 4.
+func (k Kind) String() string {
+	switch k {
+	case Forward:
+		return "F"
+	case Backward:
+		return "B"
+	case Recompute:
+		return "R"
+	default:
+		return "?"
+	}
+}
+
+// Task is one unit of stage work on a micro-batch (0-based index).
+type Task struct {
+	Kind  Kind
+	Micro int
+}
+
+// String renders the task as in Figure 4, with 1-based micro-batch
+// numbers.
+func (t Task) String() string { return fmt.Sprintf("%s%d", t.Kind, t.Micro+1) }
+
+// Order is the task sequence of one pipeline stage.
+type Order []Task
+
+// String renders the order space-separated.
+func (o Order) String() string {
+	parts := make([]string, len(o))
+	for i, t := range o {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Schedule is a complete static pipeline schedule.
+type Schedule struct {
+	// Depth is the number of pipeline stages.
+	Depth int
+	// Micros is the number of micro-batches per mini-batch.
+	Micros int
+	// Orders holds one task order per stage.
+	Orders []Order
+}
+
+// Policy selects a scheduling discipline for the executor.
+type Policy struct {
+	// Name identifies the system whose schedule this models.
+	Name string
+	// Rule selects Varuna's online rule-based scheduling (§3.2
+	// constraints 1–3) instead of a fixed order.
+	Rule bool
+	// Opportunistic allows deviating from the schedule when the due
+	// task's inputs have not arrived (Varuna's jitter tolerance).
+	Opportunistic bool
+	// SyncComm puts activation/gradient receives on the compute
+	// critical path: the stage is charged the un-overlapped fraction
+	// of each receive.
+	SyncComm bool
+	// OverlapFrac is the fraction of receive time hidden under compute
+	// when SyncComm is set: 0 is fully blocking (DeepSpeed's engine on
+	// commodity TCP), 0.5 models Megatron-1F1B's coupled batched
+	// send/recv pairs. Ignored when SyncComm is false (full overlap).
+	OverlapFrac float64
+	// NoFlush models asynchronous pipelines (PipeDream) that never
+	// drain between mini-batches, at the cost of stale updates.
+	NoFlush bool
+}
+
+// The policies compared in the evaluation.
+var (
+	// Varuna is the paper's schedule: rule-based with opportunistic
+	// deviation under jitter.
+	Varuna = Policy{Name: "Varuna", Rule: true, Opportunistic: true}
+	// VarunaStrict is the ablation without opportunistic scheduling.
+	VarunaStrict = Policy{Name: "Varuna-strict", Rule: true}
+	// GPipeP is GPipe: all forwards, then backwards in reverse order.
+	GPipeP = Policy{Name: "GPipe"}
+	// Megatron1F1B is Megatron's one-forward-one-backward schedule;
+	// its batched send/recv pairs overlap only partially with compute
+	// on commodity TCP.
+	Megatron1F1B = Policy{Name: "Megatron-1F1B", SyncComm: true, OverlapFrac: 0.5}
+	// DeepSpeedP is DeepSpeed's pipeline engine, which in the paper's
+	// commodity setting does not overlap communication with compute.
+	DeepSpeedP = Policy{Name: "DeepSpeed", SyncComm: true}
+	// PipeDreamP is the asynchronous no-flush pipeline.
+	PipeDreamP = Policy{Name: "PipeDream", NoFlush: true}
+)
+
+// GPipe builds GPipe's static schedule (Figure 4): every stage runs all
+// forwards, then processes backwards in reverse micro-batch order. The
+// most recently forwarded micro-batch still has hot activations so its
+// backward needs no recompute; all others recompute first.
+func GPipe(depth, micros int) (*Schedule, error) {
+	if err := checkShape(depth, micros); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Depth: depth, Micros: micros, Orders: make([]Order, depth)}
+	for st := 0; st < depth; st++ {
+		var o Order
+		for m := 0; m < micros; m++ {
+			o = append(o, Task{Forward, m})
+		}
+		o = append(o, Task{Backward, micros - 1}) // hot activations
+		for m := micros - 2; m >= 0; m-- {
+			o = append(o, Task{Recompute, m}, Task{Backward, m})
+		}
+		s.Orders[st] = o
+	}
+	return s, nil
+}
+
+// OneFOneB builds the 1F1B schedule used by Megatron and DeepSpeed:
+// stage s warms up with min(micros, depth-s) forwards, then strictly
+// alternates backward/forward, then drains. Non-final stages recompute
+// before each backward (activation checkpointing); the final stage's
+// backwards immediately follow their forwards, so activations are hot.
+func OneFOneB(depth, micros int) (*Schedule, error) {
+	if err := checkShape(depth, micros); err != nil {
+		return nil, err
+	}
+	s := &Schedule{Depth: depth, Micros: micros, Orders: make([]Order, depth)}
+	for st := 0; st < depth; st++ {
+		warm := depth - st
+		if warm > micros {
+			warm = micros
+		}
+		var o Order
+		next := 0
+		for ; next < warm; next++ {
+			o = append(o, Task{Forward, next})
+		}
+		hot := st == depth-1 // backwards chase forwards directly
+		for m := 0; m < micros; m++ {
+			if !hot {
+				o = append(o, Task{Recompute, m})
+			}
+			o = append(o, Task{Backward, m})
+			if next < micros {
+				o = append(o, Task{Forward, next})
+				next++
+			}
+		}
+		s.Orders[st] = o
+	}
+	return s, nil
+}
+
+func checkShape(depth, micros int) error {
+	if depth < 1 {
+		return fmt.Errorf("schedule: depth %d < 1", depth)
+	}
+	if micros < 1 {
+		return fmt.Errorf("schedule: micros %d < 1", micros)
+	}
+	return nil
+}
+
+// Validate checks that a schedule is executable: per stage, every
+// micro-batch is forwarded exactly once and backwarded exactly once, a
+// backward is preceded by hot activations or a recompute, recomputes
+// follow the micro-batch's forward, and no recompute is wasted.
+func (s *Schedule) Validate() error {
+	if len(s.Orders) != s.Depth {
+		return fmt.Errorf("schedule: %d orders for depth %d", len(s.Orders), s.Depth)
+	}
+	for st, o := range s.Orders {
+		fwd := make([]bool, s.Micros)
+		bwd := make([]bool, s.Micros)
+		rec := make([]bool, s.Micros)
+		lastTouched := -1 // micro with hot activations
+		for i, t := range o {
+			if t.Micro < 0 || t.Micro >= s.Micros {
+				return fmt.Errorf("schedule: stage %d task %d micro %d out of range", st, i, t.Micro)
+			}
+			switch t.Kind {
+			case Forward:
+				if fwd[t.Micro] {
+					return fmt.Errorf("schedule: stage %d forwards micro %d twice", st, t.Micro)
+				}
+				fwd[t.Micro] = true
+				lastTouched = t.Micro
+			case Recompute:
+				if !fwd[t.Micro] {
+					return fmt.Errorf("schedule: stage %d recomputes micro %d before forward", st, t.Micro)
+				}
+				if bwd[t.Micro] {
+					return fmt.Errorf("schedule: stage %d recomputes micro %d after backward", st, t.Micro)
+				}
+				if rec[t.Micro] {
+					return fmt.Errorf("schedule: stage %d recomputes micro %d twice", st, t.Micro)
+				}
+				rec[t.Micro] = true
+				lastTouched = t.Micro
+			case Backward:
+				if !fwd[t.Micro] {
+					return fmt.Errorf("schedule: stage %d backwards micro %d before forward", st, t.Micro)
+				}
+				if bwd[t.Micro] {
+					return fmt.Errorf("schedule: stage %d backwards micro %d twice", st, t.Micro)
+				}
+				if !rec[t.Micro] && lastTouched != t.Micro {
+					return fmt.Errorf("schedule: stage %d backward for micro %d has neither hot activations nor recompute", st, t.Micro)
+				}
+				bwd[t.Micro] = true
+			}
+		}
+		for m := 0; m < s.Micros; m++ {
+			if !fwd[m] || !bwd[m] {
+				return fmt.Errorf("schedule: stage %d incomplete for micro %d (fwd=%v bwd=%v)", st, m, fwd[m], bwd[m])
+			}
+		}
+	}
+	return nil
+}
+
+// RecomputeCount reports the total number of recompute tasks in the
+// schedule — the measure behind Varuna's last-stage optimization.
+func (s *Schedule) RecomputeCount() int {
+	n := 0
+	for _, o := range s.Orders {
+		for _, t := range o {
+			if t.Kind == Recompute {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskString(t *testing.T) {
+	if (Task{Forward, 0}).String() != "F1" {
+		t.Fatal("Forward format")
+	}
+	if (Task{Backward, 4}).String() != "B5" {
+		t.Fatal("Backward format")
+	}
+	if (Task{Recompute, 2}).String() != "R3" {
+		t.Fatal("Recompute format")
+	}
+	if Kind(9).String() != "?" {
+		t.Fatal("unknown kind format")
+	}
+}
+
+func TestGPipeMatchesFigure4(t *testing.T) {
+	// Figure 4(b): every GPipe stage runs
+	// F1 F2 F3 F4 F5 B5 R4 B4 R3 B3 R2 B2 R1 B1.
+	s, err := GPipe(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "F1 F2 F3 F4 F5 B5 R4 B4 R3 B3 R2 B2 R1 B1"
+	for st := 0; st < 4; st++ {
+		if got := s.Orders[st].String(); got != want {
+			t.Fatalf("stage %d:\n got %s\nwant %s", st, got, want)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneFOneBShape(t *testing.T) {
+	s, err := OneFOneB(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Last stage alternates F/B with no recompute.
+	last := s.Orders[3]
+	if last.String() != "F1 B1 F2 B2 F3 B3 F4 B4 F5 B5 F6 B6 F7 B7 F8 B8" {
+		t.Fatalf("last stage = %s", last)
+	}
+	// First stage warms up with `depth` forwards.
+	first := s.Orders[0]
+	for i := 0; i < 4; i++ {
+		if first[i].Kind != Forward || first[i].Micro != i {
+			t.Fatalf("first stage warmup wrong: %s", first)
+		}
+	}
+	if first[4].Kind == Forward {
+		t.Fatalf("first stage must switch to backward after warmup: %s", first)
+	}
+}
+
+func TestOneFOneBRecomputeOnlyWhereNeeded(t *testing.T) {
+	s, err := OneFOneB(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final stage: zero recomputes (hot activations). Other stages:
+	// one per micro-batch.
+	for st, o := range s.Orders {
+		n := 0
+		for _, task := range o {
+			if task.Kind == Recompute {
+				n++
+			}
+		}
+		if st == 3 && n != 0 {
+			t.Fatalf("final stage has %d recomputes, want 0", n)
+		}
+		if st != 3 && n != 6 {
+			t.Fatalf("stage %d has %d recomputes, want 6", st, n)
+		}
+	}
+}
+
+func TestGPipeRecomputeCount(t *testing.T) {
+	// GPipe recomputes all but the hottest micro-batch on each stage.
+	s, err := GPipe(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RecomputeCount(); got != 4*(5-1) {
+		t.Fatalf("recomputes = %d, want %d", got, 16)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := GPipe(0, 5); err == nil {
+		t.Fatal("depth 0 must fail")
+	}
+	if _, err := OneFOneB(4, 0); err == nil {
+		t.Fatal("micros 0 must fail")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good, err := GPipe(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backward before forward.
+	bad := &Schedule{Depth: 1, Micros: 1, Orders: []Order{{{Backward, 0}, {Forward, 0}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("backward-before-forward must fail")
+	}
+
+	// Missing backward.
+	bad = &Schedule{Depth: 1, Micros: 1, Orders: []Order{{{Forward, 0}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing backward must fail")
+	}
+
+	// Cold backward: F1 F2 B1 without recompute (activations of micro 0
+	// were evicted by F2's checkpointing).
+	bad = &Schedule{Depth: 1, Micros: 2, Orders: []Order{{
+		{Forward, 0}, {Forward, 1}, {Backward, 0}, {Backward, 1},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("cold backward without recompute must fail")
+	}
+
+	// Double recompute.
+	bad = &Schedule{Depth: 1, Micros: 1, Orders: []Order{{
+		{Forward, 0}, {Recompute, 0}, {Recompute, 0}, {Backward, 0},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("double recompute must fail")
+	}
+
+	// Wrong order count.
+	bad = &Schedule{Depth: 3, Micros: 3, Orders: good.Orders}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("depth/order mismatch must fail")
+	}
+
+	// Out-of-range micro.
+	bad = &Schedule{Depth: 1, Micros: 1, Orders: []Order{{{Forward, 5}, {Backward, 5}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("micro out of range must fail")
+	}
+}
+
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(func(d, m uint8) bool {
+		depth := int(d%24) + 1
+		micros := int(m%48) + 1
+		g, err := GPipe(depth, micros)
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		o, err := OneFOneB(depth, micros)
+		if err != nil || o.Validate() != nil {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOneFOneBFewerMicrosThanDepth(t *testing.T) {
+	// Degenerate but legal: fewer micro-batches than stages.
+	s, err := OneFOneB(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyFlags(t *testing.T) {
+	if !Varuna.Rule || !Varuna.Opportunistic {
+		t.Fatal("Varuna policy must be rule-based and opportunistic")
+	}
+	if VarunaStrict.Opportunistic {
+		t.Fatal("strict ablation must not be opportunistic")
+	}
+	if !DeepSpeedP.SyncComm {
+		t.Fatal("DeepSpeed models synchronous communication")
+	}
+	if !PipeDreamP.NoFlush {
+		t.Fatal("PipeDream never flushes")
+	}
+	if GPipeP.Rule || Megatron1F1B.Rule {
+		t.Fatal("strict policies must not be rule-based")
+	}
+}

@@ -1,0 +1,431 @@
+// Package sim is Varuna's parametrized event-driven simulator (§4.4)
+// and the pipeline executor underlying the testbed. Given the
+// calibrated primitive parameters of Table 2 — per-stage forward,
+// backward and recompute times, activation/gradient transfer times and
+// per-stage allreduce times — it simulates one full mini-batch (Nm
+// micro-batches followed by the data-parallel allreduce) for a concrete
+// (P, D, m, Nm) configuration and reports the estimated
+// time-per-mini-batch, plus a task-level trace for Gantt rendering
+// (Figure 7).
+//
+// The executor implements both scheduling families the paper compares:
+//
+//   - Rule-based (Varuna, §3.2): backward preferred when ready
+//     (constraint 3), recompute scheduled just-in-time so it completes
+//     as the gradient arrives (constraint 1), a stage that recomputed
+//     waits for the matching backward (constraint 2), and when the due
+//     task's inputs are missing the stage opportunistically runs
+//     another ready task (work conservation under jitter).
+//   - Strict orders (GPipe, 1F1B, DeepSpeed): the stage follows a fixed
+//     task list, stalling whenever the next task's inputs are missing.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/schedule"
+	"repro/internal/simtime"
+)
+
+// StageCosts carries the calibrated parameters of one pipeline stage
+// (Table 2), folded to a concrete micro-batch size m.
+type StageCosts struct {
+	// Fwd, Bwd, Rec are compute times per micro-batch.
+	Fwd, Bwd, Rec simtime.Duration
+	// ActSend is the time to move the stage's output activations to
+	// the next stage (latency + serialization).
+	ActSend simtime.Duration
+	// GradSend is the time to move input gradients to the previous
+	// stage.
+	GradSend simtime.Duration
+	// AllReduce is the data-parallel gradient allreduce for this
+	// stage's parameters over its replica ring.
+	AllReduce simtime.Duration
+	// Optimizer is the weight-update time after the allreduce.
+	Optimizer simtime.Duration
+}
+
+// Config describes one simulated mini-batch execution.
+type Config struct {
+	// Depth is the pipeline depth P.
+	Depth int
+	// Micros is the number of micro-batches Nm.
+	Micros int
+	// Policy selects the scheduling discipline.
+	Policy schedule.Policy
+	// Orders holds the static per-stage task orders for strict
+	// policies. Ignored in rule mode.
+	Orders []schedule.Order
+	// Costs holds per-stage calibrated parameters (len Depth).
+	Costs []StageCosts
+	// JitterCV applies multiplicative jitter to every network
+	// transfer; 0 simulates with means (the parametric estimate).
+	JitterCV float64
+	// ComputeJitterCV jitters kernel times. GPU kernels are far more
+	// stable than commodity networks; the testbed uses ~0.02. 0 means
+	// deterministic compute.
+	ComputeJitterCV float64
+	// Rand supplies jitter samples; required when either jitter is set.
+	Rand *simtime.Rand
+	// SpeedFactor optionally slows individual stages (fail-stutter
+	// modelling); nil means all stages run at full speed. A factor of
+	// 1.3 makes the stage 30% slower.
+	SpeedFactor []float64
+	// MaxInFlight caps forwarded-but-not-backwarded micro-batches per
+	// stage in rule mode (activation stash memory). 0 means 2·Depth.
+	MaxInFlight int
+}
+
+// TaskSpan is one executed task in the trace.
+type TaskSpan struct {
+	Stage      int
+	Task       schedule.Task
+	Start, End simtime.Time
+}
+
+// Result summarizes a simulated mini-batch.
+type Result struct {
+	// Makespan is the full mini-batch time including the allreduce
+	// and optimizer step.
+	Makespan simtime.Duration
+	// PipelineSpan is the time until the last backward completes.
+	PipelineSpan simtime.Duration
+	// Trace lists every executed task in start order.
+	Trace []TaskSpan
+	// StageEnds records when each stage finished its last backward —
+	// the point its data-parallel allreduce can begin.
+	StageEnds []simtime.Time
+	// BubbleFrac is idle stage-time divided by total stage-time up to
+	// the pipeline span.
+	BubbleFrac float64
+	// OpportunisticRuns counts tasks run out of static order to hide
+	// jitter (rule mode only).
+	OpportunisticRuns int
+}
+
+const never = simtime.Time(math.MaxInt64)
+
+type stageState struct {
+	idx  int
+	busy bool
+
+	actArrival    []simtime.Time // activation availability per micro
+	gradArrival   []simtime.Time
+	gradAnnounce  []simtime.Time // predicted gradient arrival (known at upstream B start)
+	fwdDone       []bool
+	recDone       []bool
+	bwdDone       []bool
+	fwdSenderEnd  []simtime.Time // for SyncComm: when sender finished computing
+	gradSenderEnd []simtime.Time
+
+	hot       int    // micro whose activations are still resident (-1 none)
+	locked    int    // micro we recomputed for and must backward next (-1 none)
+	nextFwd   int    // next micro to forward (rule mode)
+	inFlight  int    // forwarded but not yet backwarded
+	orderPos  int    // strict mode position
+	orderDone []bool // strict mode: executed order entries (incl. pulled-forward)
+	hasRec    []bool // strict mode: order contains a recompute for micro m
+	bwdLeft   int
+	busySum   simtime.Duration
+	lastBwd   simtime.Time
+	wakeAt    simtime.Time // pending scheduled wake (dedupe)
+}
+
+type executor struct {
+	cfg    Config
+	q      simtime.EventQueue
+	stages []*stageState
+	trace  []TaskSpan
+	opport int
+}
+
+// Run simulates one mini-batch under cfg.
+func Run(cfg Config) (Result, error) {
+	if err := validate(&cfg); err != nil {
+		return Result{}, err
+	}
+	e := &executor{cfg: cfg}
+	e.stages = make([]*stageState, cfg.Depth)
+	for s := 0; s < cfg.Depth; s++ {
+		st := &stageState{
+			idx:           s,
+			actArrival:    fillTimes(cfg.Micros, never),
+			gradArrival:   fillTimes(cfg.Micros, never),
+			gradAnnounce:  fillTimes(cfg.Micros, never),
+			fwdSenderEnd:  fillTimes(cfg.Micros, never),
+			gradSenderEnd: fillTimes(cfg.Micros, never),
+			fwdDone:       make([]bool, cfg.Micros),
+			recDone:       make([]bool, cfg.Micros),
+			bwdDone:       make([]bool, cfg.Micros),
+			hot:           -1,
+			locked:        -1,
+			bwdLeft:       cfg.Micros,
+			wakeAt:        never,
+		}
+		if s == 0 {
+			for m := 0; m < cfg.Micros; m++ {
+				st.actArrival[m] = 0
+				st.fwdSenderEnd[m] = 0
+			}
+		}
+		if !cfg.Policy.Rule {
+			st.orderDone = make([]bool, len(cfg.Orders[s]))
+			st.hasRec = make([]bool, cfg.Micros)
+			for _, t := range cfg.Orders[s] {
+				if t.Kind == schedule.Recompute {
+					st.hasRec[t.Micro] = true
+				}
+			}
+		}
+		e.stages[s] = st
+	}
+	for s := range e.stages {
+		s := s
+		e.q.Schedule(0, func() { e.try(s) })
+	}
+	e.q.Run(0)
+
+	res := Result{Trace: e.trace, OpportunisticRuns: e.opport, StageEnds: make([]simtime.Time, cfg.Depth)}
+	var pipeEnd, fullEnd simtime.Time
+	var busy simtime.Duration
+	for i, st := range e.stages {
+		if st.bwdLeft > 0 {
+			return Result{}, fmt.Errorf("sim: deadlock — stage %d has %d backwards pending", st.idx, st.bwdLeft)
+		}
+		res.StageEnds[i] = st.lastBwd
+		pipeEnd = simtime.Max(pipeEnd, st.lastBwd)
+		busy += st.busySum
+	}
+	for s, st := range e.stages {
+		end := st.lastBwd
+		if !e.cfg.Policy.NoFlush {
+			end = end.Add(e.netDur(e.cfg.Costs[s].AllReduce))
+		}
+		end = end.Add(e.dur(e.cfg.Costs[s].Optimizer, s))
+		fullEnd = simtime.Max(fullEnd, end)
+	}
+	res.PipelineSpan = simtime.Duration(pipeEnd)
+	res.Makespan = simtime.Duration(fullEnd)
+	if pipeEnd > 0 {
+		total := simtime.Duration(pipeEnd) * simtime.Duration(cfg.Depth)
+		res.BubbleFrac = 1 - float64(busy)/float64(total)
+	}
+	return res, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Depth < 1 || cfg.Micros < 1 {
+		return fmt.Errorf("sim: bad shape depth=%d micros=%d", cfg.Depth, cfg.Micros)
+	}
+	if len(cfg.Costs) != cfg.Depth {
+		return fmt.Errorf("sim: %d cost entries for depth %d", len(cfg.Costs), cfg.Depth)
+	}
+	if (cfg.JitterCV > 0 || cfg.ComputeJitterCV > 0) && cfg.Rand == nil {
+		return fmt.Errorf("sim: jitter requested without a random source")
+	}
+	if cfg.SpeedFactor != nil && len(cfg.SpeedFactor) != cfg.Depth {
+		return fmt.Errorf("sim: %d speed factors for depth %d", len(cfg.SpeedFactor), cfg.Depth)
+	}
+	if !cfg.Policy.Rule {
+		if len(cfg.Orders) != cfg.Depth {
+			return fmt.Errorf("sim: strict policy %q needs %d orders, got %d", cfg.Policy.Name, cfg.Depth, len(cfg.Orders))
+		}
+		s := &schedule.Schedule{Depth: cfg.Depth, Micros: cfg.Micros, Orders: cfg.Orders}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 2 * cfg.Depth
+	}
+	return nil
+}
+
+func fillTimes(n int, v simtime.Time) []simtime.Time {
+	t := make([]simtime.Time, n)
+	for i := range t {
+		t[i] = v
+	}
+	return t
+}
+
+// dur applies compute jitter and per-stage speed factors to a mean
+// kernel duration.
+func (e *executor) dur(mean simtime.Duration, stage int) simtime.Duration {
+	d := mean
+	if e.cfg.SpeedFactor != nil {
+		d = simtime.Duration(float64(d)*e.cfg.SpeedFactor[stage] + 0.5)
+	}
+	if e.cfg.ComputeJitterCV > 0 {
+		d = e.cfg.Rand.Jitter(d, e.cfg.ComputeJitterCV)
+	}
+	return d
+}
+
+// netDur applies jitter to a transfer time (no speed factor — the
+// network does not care which GPU is slow).
+func (e *executor) netDur(mean simtime.Duration) simtime.Duration {
+	if e.cfg.JitterCV > 0 {
+		return e.cfg.Rand.Jitter(mean, e.cfg.JitterCV)
+	}
+	return mean
+}
+
+// try attempts to start work on stage s; called whenever the stage
+// completes a task or a new input arrives.
+func (e *executor) try(s int) {
+	st := e.stages[s]
+	if st.busy || st.bwdLeft == 0 {
+		return
+	}
+	now := e.q.Now()
+	if e.cfg.Policy.Rule {
+		e.tryRule(st, now)
+	} else {
+		e.tryStrict(st, now)
+	}
+}
+
+// start executes task t on stage st beginning now.
+func (e *executor) start(st *stageState, t schedule.Task, now simtime.Time, extra simtime.Duration) {
+	c := e.cfg.Costs[st.idx]
+	var mean simtime.Duration
+	switch t.Kind {
+	case schedule.Forward:
+		mean = c.Fwd
+	case schedule.Backward:
+		mean = c.Bwd
+	case schedule.Recompute:
+		mean = c.Rec
+	}
+	d := e.dur(mean, st.idx) + extra
+	end := now.Add(d)
+	st.busy = true
+	st.busySum += d
+	e.trace = append(e.trace, TaskSpan{Stage: st.idx, Task: t, Start: now, End: end})
+
+	// Gradient-arrival announcement: the moment a backward starts, its
+	// completion (and hence the gradient's arrival upstream) is known,
+	// letting the upstream stage schedule a just-in-time recompute
+	// (§3.2 constraint 1).
+	if t.Kind == schedule.Backward && st.idx > 0 {
+		up := e.stages[st.idx-1]
+		xfer := e.netDur(c.GradSend)
+		arr := end.Add(xfer)
+		up.gradAnnounce[t.Micro] = arr
+		up.gradSenderEnd[t.Micro] = end
+		m := t.Micro
+		e.q.Schedule(arr, func() {
+			up.gradArrival[m] = arr
+			e.try(up.idx)
+		})
+		// Wake upstream now so it can plan the recompute.
+		e.q.Schedule(now, func() { e.try(up.idx) })
+	}
+
+	e.q.Schedule(end, func() { e.complete(st, t, end) })
+}
+
+func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
+	st.busy = false
+	switch t.Kind {
+	case schedule.Forward:
+		st.fwdDone[t.Micro] = true
+		st.hot = t.Micro
+		st.inFlight++
+		if st.idx < e.cfg.Depth-1 {
+			down := e.stages[st.idx+1]
+			xfer := e.netDur(e.cfg.Costs[st.idx].ActSend)
+			arr := end.Add(xfer)
+			m := t.Micro
+			down.fwdSenderEnd[m] = end
+			e.q.Schedule(arr, func() {
+				down.actArrival[m] = arr
+				e.try(down.idx)
+			})
+		} else {
+			// Last stage: loss computed, gradient available locally.
+			st.gradArrival[t.Micro] = end
+			st.gradAnnounce[t.Micro] = end
+			st.gradSenderEnd[t.Micro] = end
+		}
+	case schedule.Recompute:
+		st.recDone[t.Micro] = true
+		st.hot = t.Micro
+		st.locked = t.Micro
+	case schedule.Backward:
+		st.bwdDone[t.Micro] = true
+		st.bwdLeft--
+		st.inFlight--
+		st.lastBwd = end
+		if st.locked == t.Micro {
+			st.locked = -1
+		}
+		if st.hot == t.Micro {
+			st.hot = -1 // activations consumed
+		}
+	}
+	e.try(st.idx)
+}
+
+// backwardReady reports whether B(micro) can start now on st.
+func (e *executor) backwardReady(st *stageState, micro int, now simtime.Time) bool {
+	if !st.fwdDone[micro] || st.bwdDone[micro] {
+		return false
+	}
+	if !st.recDone[micro] && st.hot != micro {
+		return false
+	}
+	if e.cfg.Policy.SyncComm {
+		return st.gradSenderEnd[micro] <= now
+	}
+	return st.gradArrival[micro] <= now
+}
+
+// syncExtra reports the receive time charged to the stage itself under
+// SyncComm policies: the fraction of the transfer not hidden under
+// compute (1−OverlapFrac).
+func (e *executor) syncExtra(st *stageState, t schedule.Task) simtime.Duration {
+	if !e.cfg.Policy.SyncComm {
+		return 0
+	}
+	frac := 1 - e.cfg.Policy.OverlapFrac
+	if frac <= 0 {
+		return 0
+	}
+	var xfer simtime.Duration
+	switch t.Kind {
+	case schedule.Forward:
+		if st.idx == 0 {
+			return 0
+		}
+		xfer = e.netDur(e.cfg.Costs[st.idx-1].ActSend)
+	case schedule.Backward:
+		if st.idx == e.cfg.Depth-1 {
+			return 0
+		}
+		xfer = e.netDur(e.cfg.Costs[st.idx+1].GradSend)
+	default:
+		return 0
+	}
+	return simtime.Duration(float64(xfer)*frac + 0.5)
+}
+
+// wake schedules a retry at t, deduplicating earlier wakes.
+func (e *executor) wake(st *stageState, t simtime.Time) {
+	if t == never || t <= e.q.Now() {
+		return
+	}
+	if st.wakeAt != never && st.wakeAt <= t {
+		return
+	}
+	st.wakeAt = t
+	s := st.idx
+	e.q.Schedule(t, func() {
+		if e.stages[s].wakeAt == t {
+			e.stages[s].wakeAt = never
+		}
+		e.try(s)
+	})
+}

@@ -1,0 +1,101 @@
+package simtime
+
+import "container/heap"
+
+// Event is a unit of work scheduled on the simulated clock. Events with
+// equal times fire in insertion order, which keeps simulations
+// deterministic regardless of heap internals.
+type Event struct {
+	At   Time
+	Fire func()
+
+	seq int64
+	idx int
+}
+
+// EventQueue is a priority queue of simulated events. The zero value is
+// ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq int64
+	now Time
+}
+
+// Now reports the current simulated time: the timestamp of the most
+// recently fired event.
+func (q *EventQueue) Now() Time { return q.now }
+
+// Schedule enqueues fn to run at instant at. Scheduling in the past is
+// clamped to the current time (the event fires next).
+func (q *EventQueue) Schedule(at Time, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fire: fn, seq: q.seq})
+}
+
+// After enqueues fn to run d after the current simulated time.
+func (q *EventQueue) After(d Duration, fn func()) {
+	q.Schedule(q.now.Add(d), fn)
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// Step fires the earliest pending event, advancing the clock. It
+// reports false when no events remain.
+func (q *EventQueue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	q.now = ev.At
+	ev.Fire()
+	return true
+}
+
+// Run fires events until the queue drains or the clock passes horizon
+// (horizon <= 0 means no horizon). It returns the final simulated time.
+func (q *EventQueue) Run(horizon Time) Time {
+	for q.h.Len() > 0 {
+		if horizon > 0 && q.h[0].At > horizon {
+			q.now = horizon
+			break
+		}
+		q.Step()
+	}
+	return q.now
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

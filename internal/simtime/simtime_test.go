@@ -1,0 +1,165 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500µs"},
+		{2500, "2.500ms"},
+		{3 * Second, "3.000s"},
+		{90 * Minute, "1.50h"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(2 * Second)
+	if t1.Sub(t0) != 2*Second {
+		t.Fatalf("Sub = %v, want 2s", t1.Sub(t0))
+	}
+	if t1.Seconds() != 2 {
+		t.Fatalf("Seconds = %v, want 2", t1.Seconds())
+	}
+	if Max(t0, t1) != t1 || Min(t0, t1) != t0 {
+		t.Fatal("Max/Min wrong")
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	if err := quick.Check(func(ms uint16) bool {
+		d := FromSeconds(float64(ms) / 1000)
+		return d == Duration(ms)*Millisecond
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterProperties(t *testing.T) {
+	r := NewRand(1)
+	base := 10 * Millisecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(base, 0.2)
+		if j < base/2 {
+			t.Fatalf("jitter produced %v, below floor %v", j, base/2)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("cv=0 must be identity")
+	}
+	if r.Jitter(0, 0.5) != 0 {
+		t.Fatal("zero duration must stay zero")
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	r := NewRand(7)
+	base := Second
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Jitter(base, 0.1))
+	}
+	mean := sum / n / float64(Second)
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("jitter mean = %v, want ≈1", mean)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var got []int
+	q.Schedule(30, func() { got = append(got, 3) })
+	q.Schedule(10, func() { got = append(got, 1) })
+	q.Schedule(20, func() { got = append(got, 2) })
+	q.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", q.Now())
+	}
+}
+
+func TestEventQueueFIFOAtSameTime(t *testing.T) {
+	var q EventQueue
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		q.Schedule(5, func() { got = append(got, i) })
+	}
+	q.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events must fire FIFO, got %v", got)
+		}
+	}
+}
+
+func TestEventQueueCascade(t *testing.T) {
+	var q EventQueue
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 10 {
+			q.After(Millisecond, step)
+		}
+	}
+	q.Schedule(0, step)
+	end := q.Run(0)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if end != Time(9*Millisecond) {
+		t.Fatalf("end = %v, want 9ms", end)
+	}
+}
+
+func TestEventQueueHorizon(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	q.Schedule(Time(Second), func() { fired++ })
+	q.Schedule(Time(3*Second), func() { fired++ })
+	end := q.Run(Time(2 * Second))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if end != Time(2*Second) {
+		t.Fatalf("end = %v, want horizon", end)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestSchedulePastClamped(t *testing.T) {
+	var q EventQueue
+	var at Time
+	q.Schedule(100, func() {
+		q.Schedule(10, func() { at = q.Now() }) // in the past
+	})
+	q.Run(0)
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamp to 100", at)
+	}
+}

@@ -1,0 +1,213 @@
+// Package spot simulates the low-priority VM market the paper trains
+// on: VM allocations that succeed or fail depending on spare capacity,
+// and running VMs that are preempted when the provider reclaims them.
+// It generates the availability dynamics behind Figure 3 (1-GPU VMs are
+// more readily available than 4-GPU VMs) and the 60-hour trace behind
+// Figure 8.
+//
+// The market is a birth–death process over a hidden spare-capacity pool
+// that drifts on a multi-hour cycle (datacenter load varies by time of
+// day). Multi-GPU VMs require contiguous capacity, so their allocation
+// success probability falls much faster as the pool tightens — the
+// observed mechanism for Observation 4.
+package spot
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Market models spot capacity for one VM size in one region.
+type Market struct {
+	// GPUsPerVM is the VM size (1 or 4 in the paper).
+	GPUsPerVM int
+	// BaseCapacity is the average number of spare GPUs.
+	BaseCapacity int
+	// CycleAmplitude is the fraction of BaseCapacity that the
+	// spare pool swings over a load cycle.
+	CycleAmplitude float64
+	// CyclePeriod is the load-cycle length (default 8h).
+	CyclePeriod simtime.Duration
+	// MeanHold is the average time a granted VM survives before
+	// preemption pressure applies (preemptions are more likely when
+	// the pool is tight).
+	MeanHold simtime.Duration
+
+	rng  *simtime.Rand
+	held int // GPUs currently granted to us
+}
+
+// NewMarket builds a market with the given spare pool and seed.
+func NewMarket(gpusPerVM, baseCapacity int, seed int64) *Market {
+	return &Market{
+		GPUsPerVM:      gpusPerVM,
+		BaseCapacity:   baseCapacity,
+		CycleAmplitude: 0.6,
+		CyclePeriod:    8 * simtime.Hour,
+		MeanHold:       4 * simtime.Hour,
+		rng:            simtime.NewRand(seed),
+	}
+}
+
+// spareAt reports the (fractional) spare GPU pool at time t, excluding
+// what we already hold.
+func (mk *Market) spareAt(t simtime.Time) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(mk.CyclePeriod)
+	spare := float64(mk.BaseCapacity) * (1 + mk.CycleAmplitude*math.Sin(phase))
+	return spare - float64(mk.held)
+}
+
+// TryAllocate attempts to allocate one VM at time t. Multi-GPU VMs need
+// contiguous free capacity: the success probability is the single-GPU
+// probability raised to the VM size, matching the empirically much
+// poorer availability of 4-GPU VMs (Figure 3).
+func (mk *Market) TryAllocate(t simtime.Time) bool {
+	spare := mk.spareAt(t)
+	if spare < float64(mk.GPUsPerVM) {
+		return false
+	}
+	// Probability a single GPU slot is free, saturating with slack;
+	// a k-GPU VM needs k contiguous slots on one host, so its success
+	// probability decays geometrically in the VM size.
+	pOne := 1 - math.Exp(-spare/float64(mk.BaseCapacity))
+	p := math.Pow(pOne, float64(mk.GPUsPerVM))
+	if mk.rng.Float64() >= p {
+		return false
+	}
+	mk.held += mk.GPUsPerVM
+	return true
+}
+
+// Release returns one VM to the pool (voluntary teardown).
+func (mk *Market) Release() {
+	if mk.held >= mk.GPUsPerVM {
+		mk.held -= mk.GPUsPerVM
+	}
+}
+
+// PreemptionHazard reports the per-hour probability that a given held
+// VM is preempted at time t: baseline churn plus capacity pressure when
+// the pool is tight.
+func (mk *Market) PreemptionHazard(t simtime.Time) float64 {
+	base := float64(simtime.Hour) / float64(mk.MeanHold)
+	spare := mk.spareAt(t)
+	if spare < 0 {
+		spare = 0
+	}
+	pressure := math.Exp(-spare / (0.3 * float64(mk.BaseCapacity)))
+	// Larger VMs are reclaimed preferentially: evicting one frees a
+	// whole contiguous block for a dedicated customer.
+	size := 1 + 0.25*float64(mk.GPUsPerVM-1)
+	return base * (0.3 + 2.7*pressure) * size
+}
+
+// Held reports the GPUs currently allocated from this market.
+func (mk *Market) Held() int { return mk.held }
+
+// Sample is one point of an availability trace.
+type Sample struct {
+	At   simtime.Time
+	GPUs int
+}
+
+// AvailabilityTrace reproduces the Figure 3 experiment: request and
+// release VMs alternately at the given probe interval for the given
+// duration, recording aggregate GPUs held. The probe loop continually
+// tries to grow toward target GPUs and random preemptions shrink it.
+func AvailabilityTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.Duration) []Trace {
+	var out []Trace
+	var t simtime.Time
+	for t = 0; t <= simtime.Time(horizon); t = t.Add(probe) {
+		// Preempt each held VM independently.
+		haz := mk.PreemptionHazard(t) * probe.Seconds() / 3600
+		vms := mk.held / mk.GPUsPerVM
+		for v := 0; v < vms; v++ {
+			if mk.rng.Float64() < haz {
+				mk.Release()
+			}
+		}
+		// Grow toward the target, a few attempts per probe.
+		for i := 0; i < 8 && mk.held < target; i++ {
+			if !mk.TryAllocate(t) {
+				break
+			}
+		}
+		out = append(out, Trace{At: t, GPUs: mk.held})
+	}
+	return out
+}
+
+// Trace is one point of an availability trace.
+type Trace struct {
+	At   simtime.Time
+	GPUs int
+}
+
+// EventKind labels a fleet change.
+type EventKind int
+
+// Fleet change kinds.
+const (
+	Alloc EventKind = iota
+	Preempt
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == Alloc {
+		return "alloc"
+	}
+	return "preempt"
+}
+
+// Event is one allocation or preemption affecting a named VM.
+type Event struct {
+	At   simtime.Time
+	Kind EventKind
+	// VM is the market-assigned VM identifier.
+	VM int
+	// GPUs is the VM's GPU count.
+	GPUs int
+}
+
+// String formats the event.
+func (e Event) String() string {
+	return fmt.Sprintf("%v %s vm%d(%dgpu)", e.At, e.Kind, e.VM, e.GPUs)
+}
+
+// EventTrace generates a full allocation/preemption event stream for a
+// job that keeps trying to hold target GPUs over the horizon — the
+// input the Varuna manager consumes (Figure 8's 60-hour run).
+func EventTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.Duration) []Event {
+	var out []Event
+	nextVM := 0
+	live := make(map[int]bool)
+	var order []int
+	for t := simtime.Time(0); t <= simtime.Time(horizon); t = t.Add(probe) {
+		haz := mk.PreemptionHazard(t) * probe.Seconds() / 3600
+		for i := 0; i < len(order); i++ {
+			id := order[i]
+			if !live[id] {
+				continue
+			}
+			if mk.rng.Float64() < haz {
+				mk.Release()
+				live[id] = false
+				out = append(out, Event{At: t, Kind: Preempt, VM: id, GPUs: mk.GPUsPerVM})
+			}
+		}
+		for i := 0; i < 8 && mk.held < target; i++ {
+			if !mk.TryAllocate(t) {
+				break
+			}
+			id := nextVM
+			nextVM++
+			live[id] = true
+			order = append(order, id)
+			out = append(out, Event{At: t, Kind: Alloc, VM: id, GPUs: mk.GPUsPerVM})
+		}
+	}
+	return out
+}

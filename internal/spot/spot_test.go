@@ -1,0 +1,143 @@
+package spot
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestSingleGPUMoreAvailable(t *testing.T) {
+	// Figure 3 / Observation 4: aggregate capacity from 1-GPU VMs
+	// materially exceeds what 4-GPU VMs yield over a 16-hour window.
+	one := NewMarket(1, 200, 42)
+	four := NewMarket(4, 200, 42)
+	horizon, probe := 16*simtime.Hour, 5*simtime.Minute
+	target := 300
+	avg := func(tr []Trace) float64 {
+		var sum float64
+		for _, s := range tr {
+			sum += float64(s.GPUs)
+		}
+		return sum / float64(len(tr))
+	}
+	a1 := avg(AvailabilityTrace(one, target, horizon, probe))
+	a4 := avg(AvailabilityTrace(four, target, horizon, probe))
+	if a1 <= a4*1.2 {
+		t.Fatalf("1-GPU avg %.1f must exceed 4-GPU avg %.1f by >20%%", a1, a4)
+	}
+	if a1 <= 0 || a4 <= 0 {
+		t.Fatal("markets must yield some capacity")
+	}
+}
+
+func TestTryAllocateRespectsCapacity(t *testing.T) {
+	mk := NewMarket(4, 12, 1)
+	// Exhaust the pool; held can never exceed what the pool supports.
+	for i := 0; i < 100; i++ {
+		mk.TryAllocate(0)
+	}
+	if mk.Held() > 12*2 { // pool swings with amplitude but never 100 VMs
+		t.Fatalf("held %d exceeds any plausible capacity", mk.Held())
+	}
+	// Releases return capacity.
+	h := mk.Held()
+	if h >= 4 {
+		mk.Release()
+		if mk.Held() != h-4 {
+			t.Fatal("release must return one VM")
+		}
+	}
+	// Releasing below zero is a no-op.
+	for i := 0; i < 100; i++ {
+		mk.Release()
+	}
+	if mk.Held() != 0 {
+		t.Fatalf("held = %d after mass release", mk.Held())
+	}
+	mk.Release()
+	if mk.Held() != 0 {
+		t.Fatal("release at zero must be a no-op")
+	}
+}
+
+func TestPreemptionHazardPressure(t *testing.T) {
+	mk := NewMarket(1, 100, 1)
+	// Hold most of the pool: hazard must rise.
+	loose := mk.PreemptionHazard(0)
+	for i := 0; i < 90; i++ {
+		mk.held++
+	}
+	tight := mk.PreemptionHazard(0)
+	if tight <= loose {
+		t.Fatalf("hazard must rise under pressure: %.4f vs %.4f", tight, loose)
+	}
+	if loose <= 0 {
+		t.Fatal("baseline hazard must be positive")
+	}
+}
+
+func TestAvailabilityTraceShape(t *testing.T) {
+	mk := NewMarket(1, 150, 7)
+	tr := AvailabilityTrace(mk, 200, 16*simtime.Hour, 5*simtime.Minute)
+	if len(tr) != int(16*60/5)+1 {
+		t.Fatalf("trace has %d samples", len(tr))
+	}
+	// Time is monotone; capacity varies (a flat trace means the market
+	// dynamics are dead).
+	varies := false
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At <= tr[i-1].At {
+			t.Fatal("trace times must increase")
+		}
+		if tr[i].GPUs != tr[i-1].GPUs {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("availability never changed over 16 hours")
+	}
+}
+
+func TestEventTraceConsistency(t *testing.T) {
+	mk := NewMarket(1, 120, 9)
+	events := EventTrace(mk, 150, 60*simtime.Hour, 10*simtime.Minute)
+	if len(events) == 0 {
+		t.Fatal("no events over 60 hours")
+	}
+	live := make(map[int]bool)
+	var preempts int
+	for _, e := range events {
+		switch e.Kind {
+		case Alloc:
+			if live[e.VM] {
+				t.Fatalf("VM %d allocated twice", e.VM)
+			}
+			live[e.VM] = true
+		case Preempt:
+			if !live[e.VM] {
+				t.Fatalf("VM %d preempted while not live", e.VM)
+			}
+			live[e.VM] = false
+			preempts++
+		}
+	}
+	if preempts == 0 {
+		t.Fatal("a 60-hour spot trace must contain preemptions")
+	}
+	// Determinism.
+	mk2 := NewMarket(1, 120, 9)
+	events2 := EventTrace(mk2, 150, 60*simtime.Hour, 10*simtime.Minute)
+	if len(events2) != len(events) {
+		t.Fatal("same seed must give the same trace")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Alloc.String() != "alloc" || Preempt.String() != "preempt" {
+		t.Fatal("event kind names")
+	}
+	e := Event{At: simtime.Time(simtime.Hour), Kind: Preempt, VM: 3, GPUs: 4}
+	if e.String() == "" {
+		t.Fatal("event string empty")
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace implements Varuna's cross-partition dependency tracer
+// (§5.2). The paper instruments PyTorch so that every tensor created
+// during a dry run is tagged with the cut-point (partition) it belongs
+// to; any function that then touches tensors from more than one
+// partition — or tensors created outside the model, like an optimizer's
+// global norm or APEX's loss scale — is flagged as hidden cross-
+// partition state that must be synchronized.
+//
+// Here the same idea runs over the nn layer graph: a dry run executes
+// the partitioned model in one process, tagging every parameter and
+// activation with its stage, and records each observed violation. The
+// engine consumes the findings to build its §6 "second process group"
+// for shared-state allreduce.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Ownership tags a tensor with the partition that created it.
+type Ownership int
+
+// Common is the tag for tensors created outside any partition (§5.2:
+// "any tensors that are unmarked during the run are also considered
+// common").
+const Common Ownership = -1
+
+// Finding is one detected cross-partition dependency.
+type Finding struct {
+	// Tensor names the offending tensor (parameter name or synthetic
+	// activation id).
+	Tensor string
+	// Stages lists the partitions that touched it, ascending.
+	Stages []int
+	// Reason explains the detection.
+	Reason string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s touched by stages %v (%s)", f.Tensor, f.Stages, f.Reason)
+}
+
+// Report is the tracer's output: the list of tensors the user must
+// mark as shared so Varuna synchronizes them every mini-batch.
+type Report struct {
+	Findings []Finding
+}
+
+// SharedParamNames lists the parameter names that need a cross-stage
+// allreduce, sorted and deduplicated.
+func (r Report) SharedParamNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range r.Findings {
+		if !seen[f.Tensor] {
+			seen[f.Tensor] = true
+			out = append(out, f.Tensor)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DryRun executes the tracer over a partitioned layer sequence:
+// stageOf[l] gives the stage owning layer l. Parameters are tagged by
+// the stage of the first layer that exposes them; a parameter exposed
+// again by a layer on a different stage is a cross-partition
+// dependency — exactly how tied embeddings surface. Parameters marked
+// Shared by construction but observed on a single stage are reported
+// as benign (no finding).
+func DryRun(layers []nn.Layer, stageOf []int) (Report, error) {
+	if len(layers) != len(stageOf) {
+		return Report{}, fmt.Errorf("trace: %d layers but %d stage tags", len(layers), len(stageOf))
+	}
+	type seenAt struct {
+		stages map[int]bool
+		ptr    map[*nn.Param]bool
+	}
+	params := map[string]*seenAt{}
+	var order []string
+	for l, layer := range layers {
+		st := stageOf[l]
+		for _, p := range layer.Params() {
+			s, ok := params[p.Name]
+			if !ok {
+				s = &seenAt{stages: map[int]bool{}, ptr: map[*nn.Param]bool{}}
+				params[p.Name] = s
+				order = append(order, p.Name)
+			}
+			s.stages[st] = true
+			s.ptr[p] = true
+		}
+	}
+	var report Report
+	for _, name := range order {
+		s := params[name]
+		if len(s.stages) <= 1 {
+			continue
+		}
+		stages := make([]int, 0, len(s.stages))
+		for st := range s.stages {
+			stages = append(stages, st)
+		}
+		sort.Ints(stages)
+		reason := "same parameter exposed by layers on different partitions"
+		if len(s.ptr) > 1 {
+			reason = "tied copies of one logical parameter live on different partitions"
+		}
+		report.Findings = append(report.Findings, Finding{Tensor: name, Stages: stages, Reason: reason})
+	}
+	return report, nil
+}
+
+// GlobalState describes optimizer- or library-level tensors computed
+// across partitions (the paper's NVLAMB global norm and APEX loss-scale
+// examples). Register them so ScanGlobals can flag the ones a
+// partitioned run would compute inconsistently.
+type GlobalState struct {
+	// Name identifies the global tensor ("nvlamb.global_norm").
+	Name string
+	// ReadsAllLayers marks reductions over every layer's state.
+	ReadsAllLayers bool
+}
+
+// ScanGlobals flags registered globals that read layers from more than
+// one stage under the given partitioning — these need a pipeline-group
+// allreduce just like shared weights.
+func ScanGlobals(globals []GlobalState, stageOf []int) []Finding {
+	stages := map[int]bool{}
+	for _, s := range stageOf {
+		stages[s] = true
+	}
+	if len(stages) <= 1 {
+		return nil
+	}
+	all := make([]int, 0, len(stages))
+	for s := range stages {
+		all = append(all, s)
+	}
+	sort.Ints(all)
+	var out []Finding
+	for _, g := range globals {
+		if g.ReadsAllLayers {
+			out = append(out, Finding{
+				Tensor: g.Name,
+				Stages: all,
+				Reason: "global reduction over layers spanning partitions",
+			})
+		}
+	}
+	return out
+}
