@@ -15,6 +15,11 @@ import (
 
 var printOnce sync.Map
 
+// benchCtx is shared by every benchmark in the process, so calibrated
+// jobs are reused across experiments exactly as in a serial
+// varuna-bench run.
+var benchCtx = experiments.NewCtx()
+
 // runExperiment executes an experiment b.N times, printing its table
 // on the first run.
 func runExperiment(b *testing.B, id string) {
@@ -24,7 +29,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		t, err := e.Run()
+		t, err := e.Run(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}

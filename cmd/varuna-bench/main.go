@@ -3,16 +3,28 @@
 //
 // Usage:
 //
-//	varuna-bench            # run everything (slow)
-//	varuna-bench -list      # list experiment ids
-//	varuna-bench -exp fig4  # run one experiment
+//	varuna-bench                    # run everything (slow)
+//	varuna-bench -list              # list experiment ids
+//	varuna-bench -exp fig4          # run one experiment
+//	varuna-bench -parallel 0        # fan experiments across all cores
+//	varuna-bench -json out/         # write BENCH_<id>.json timing reports
+//
+// With -parallel > 1 (or 0 for GOMAXPROCS) independent experiments run
+// concurrently, each against an isolated job cache; tables still print
+// in registry order. Experiments that serially share a calibrated job
+// (and its testbed RNG stream) recalibrate in parallel mode, so their
+// jitter samples — and thus some measured numbers — differ from a
+// serial run; see EXPERIMENTS.md. Each -json report carries the
+// experiment id, paper reference, wall-clock milliseconds and outcome.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -20,6 +32,8 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exp := flag.String("exp", "", "run a single experiment by id")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 means GOMAXPROCS, 1 runs serially with shared calibration; >1 isolates job caches, so jitter-derived numbers can differ from a serial run — see EXPERIMENTS.md)")
+	jsonDir := flag.String("json", "", "directory for per-experiment BENCH_<id>.json timing reports (empty disables)")
 	flag.Parse()
 
 	if *list {
@@ -37,14 +51,44 @@ func main() {
 		}
 		run = []experiments.Entry{e}
 	}
-	for _, e := range run {
-		start := time.Now()
-		t, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "varuna-bench: %s: %v\n", e.ID, err)
+	workers := *parallel
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "varuna-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(t)
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	failed := false
+	reports := experiments.RunEntries(run, workers, func(r experiments.Report) {
+		if !r.OK {
+			failed = true
+			fmt.Fprintf(os.Stderr, "varuna-bench: %s: %s\n", r.ID, r.Error)
+			return
+		}
+		fmt.Println(r.Table)
+		fmt.Printf("[%s completed in %.0fms]\n\n", r.ID, r.WallMS)
+	})
+	if *jsonDir != "" {
+		for _, r := range reports {
+			if err := writeReport(*jsonDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "varuna-bench: %v\n", err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeReport(dir string, r experiments.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+r.ID+".json"), append(data, '\n'), 0o644)
 }

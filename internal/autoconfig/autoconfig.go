@@ -11,7 +11,10 @@ package autoconfig
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/calibrate"
 	"repro/internal/model"
@@ -98,6 +101,43 @@ func interFlags(p, gpusPerNode int) []bool {
 	return flags
 }
 
+// costCache memoizes calibrate.Params.StageCosts results keyed on
+// (p, m, d) for the duration of one sweep. StageCosts is deterministic
+// in those three values (stages and boundary flags are functions of p),
+// so workers can safely share cached cost slices — the simulator never
+// mutates them. Note: today's candidate generation dedupes by p and
+// tries each m at most once per candidate, so within a single sweep
+// every key is distinct and the cache never hits — it is the seam for
+// widening the scope to a manager-lifetime cache across the repeated
+// sweeps of a morph timeline (see ROADMAP), where keys do recur.
+type costCache struct {
+	mu sync.Mutex
+	m  map[costKey][]sim.StageCosts
+}
+
+type costKey struct{ p, m, d int }
+
+func (c *costCache) stageCosts(in Inputs, stages []model.Stage, p, m, d int) ([]sim.StageCosts, error) {
+	if c == nil {
+		return in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+	}
+	key := costKey{p: p, m: m, d: d}
+	c.mu.Lock()
+	costs, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return costs, nil
+	}
+	costs, err := in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = costs
+	c.mu.Unlock()
+	return costs, nil
+}
+
 // Evaluate builds and simulates a single (P, D) candidate, choosing the
 // micro-batch size jointly: m trades kernel efficiency (bigger is
 // better, §4.1) against pipeline efficiency (bigger m means fewer
@@ -105,6 +145,10 @@ func interFlags(p, gpusPerNode int) []bool {
 // memory-feasible profiled size up to the kernel sweet spot is
 // simulated and the fastest wins.
 func Evaluate(in Inputs, p, d int) (Choice, error) {
+	return evaluate(in, p, d, nil)
+}
+
+func evaluate(in Inputs, p, d int, cache *costCache) (Choice, error) {
 	if p < 1 || d < 1 {
 		return Choice{}, fmt.Errorf("autoconfig: bad shape %dx%d", p, d)
 	}
@@ -121,7 +165,7 @@ func Evaluate(in Inputs, p, d int) (Choice, error) {
 		if !fits(in, stages, m, nm, p) {
 			continue
 		}
-		costs, err := in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+		costs, err := cache.stageCosts(in, stages, p, m, d)
 		if err != nil {
 			return Choice{}, err
 		}
@@ -201,8 +245,18 @@ func fits(in Inputs, stages []model.Stage, m, nm, p int) bool {
 // Sweep evaluates every feasible pipeline depth for g GPUs, in O(G)
 // total simulator invocations (§4.4): P runs from the smallest depth
 // where the model fits up to the number of cut-points, one balanced
-// cut-point assignment per depth.
+// cut-point assignment per depth. Candidates are evaluated on a
+// bounded worker pool (GOMAXPROCS workers) — decision latency during a
+// morph is wasted cluster time (§7.2) — and the result is merged in
+// deterministic candidate order, so the output is bit-identical to a
+// serial sweep.
 func Sweep(in Inputs, g int) ([]Choice, error) {
+	return sweepWorkers(in, g, runtime.GOMAXPROCS(0))
+}
+
+// sweepWorkers is Sweep with an explicit worker count; workers <= 1
+// evaluates serially. Tests compare the two paths for identity.
+func sweepWorkers(in Inputs, g, workers int) ([]Choice, error) {
 	if g < 1 {
 		return nil, fmt.Errorf("autoconfig: no GPUs")
 	}
@@ -216,7 +270,8 @@ func Sweep(in Inputs, g int) ([]Choice, error) {
 	// GPUs. Sweeping the distinct D values therefore covers the
 	// configuration space in O(G/P_min) simulator calls instead of
 	// O(maxP) — the §4.4 exploration bound.
-	var out []Choice
+	type cand struct{ p, d int }
+	var cands []cand
 	seen := make(map[int]bool)
 	for d := 1; d <= g; d++ {
 		p := g / d
@@ -230,11 +285,47 @@ func Sweep(in Inputs, g int) ([]Choice, error) {
 			continue
 		}
 		seen[p] = true
-		c, err := Evaluate(in, p, g/p)
-		if err != nil {
+		cands = append(cands, cand{p: p, d: g / p})
+	}
+
+	choices := make([]Choice, len(cands))
+	errs := make([]error, len(cands))
+	cache := &costCache{m: make(map[costKey][]sim.StageCosts, len(cands))}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, c := range cands {
+			choices[i], errs[i] = evaluate(in, c.p, c.d, cache)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(cands) {
+						return
+					}
+					choices[i], errs[i] = evaluate(in, cands[i].p, cands[i].d, cache)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: candidate order is ascending D, exactly the
+	// order the serial loop appended in.
+	var out []Choice
+	for i := range cands {
+		if errs[i] != nil {
 			continue // does not fit at this depth; deeper may
 		}
-		out = append(out, c)
+		out = append(out, choices[i])
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("autoconfig: %s does not fit on %d×%s GPUs", in.Spec.Name, g, humanBytes(in.GPUMem))

@@ -1,0 +1,5 @@
+package autoconfig
+
+// SweepWorkers exposes the worker-count knob so tests can compare the
+// parallel sweep against a serial reference for bit-identical output.
+var SweepWorkers = sweepWorkers

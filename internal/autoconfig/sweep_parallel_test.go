@@ -1,0 +1,46 @@
+package autoconfig
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestSweepParallelBitIdentical is the acceptance test for the
+// parallel sweep: for every fleet size, the worker-pool sweep must
+// return exactly the Choice list the serial reference produces —
+// same order, same estimates, same micro-batch picks.
+func TestSweepParallelBitIdentical(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	for _, g := range []int{5, 24, 36, 100, 128, 300} {
+		serial, serr := SweepWorkers(in, g, 1)
+		parallel, perr := SweepWorkers(in, g, 8)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("G=%d: error mismatch serial=%v parallel=%v", g, serr, perr)
+		}
+		if serr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("G=%d: parallel sweep diverged\nserial:   %+v\nparallel: %+v", g, serial, parallel)
+		}
+	}
+}
+
+// TestSweepMatchesDefault pins the exported Sweep to the same output
+// as the serial reference (Sweep picks its own worker count).
+func TestSweepMatchesDefault(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	serial, err := SweepWorkers(in, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Sweep(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, def) {
+		t.Fatalf("Sweep diverged from serial reference\nserial: %+v\ndefault: %+v", serial, def)
+	}
+}

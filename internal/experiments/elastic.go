@@ -16,7 +16,7 @@ import (
 
 // Fig3Availability reproduces Figure 3: aggregate GPU availability when
 // low-priority 1-GPU and 4-GPU VMs are requested/released over 16 hours.
-func Fig3Availability() (*Table, error) {
+func Fig3Availability(x *Ctx) (*Table, error) {
 	horizon, probe := 16*simtime.Hour, 5*simtime.Minute
 	one := spot.AvailabilityTrace(spot.NewMarket(1, 200, 42), 300, horizon, probe)
 	four := spot.AvailabilityTrace(spot.NewMarket(4, 200, 42), 300, horizon, probe)
@@ -73,10 +73,10 @@ func sparkline(label string, tr []spot.Trace, maxGPUs int) string {
 // Fig8Morphing reproduces Figure 8: the 2.5B model training on a
 // volatile 1-GPU spot fleet for 60 hours, with the manager morphing
 // configurations as VMs come and go.
-func Fig8Morphing() (*Table, error) {
+func Fig8Morphing(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	cluster := hw.SpotCluster(hw.NC6v3, 150)
-	job, err := sharedJob(spec, cluster, 8192, 54)
+	job, err := x.sharedJob(spec, cluster, 8192, 54)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func Fig8Morphing() (*Table, error) {
 // OneVsFourGPUVMs reproduces the §7.2 comparison: Varuna trains at
 // nearly the same per-GPU rate on 1-GPU VMs (all traffic over
 // ethernet) as on 4-GPU VMs, enabling Observation 4's capacity win.
-func OneVsFourGPUVMs() (*Table, error) {
+func OneVsFourGPUVMs(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	t := &Table{
 		Title:  "§7.2: 1-GPU vs 4-GPU VMs, GPT-2 2.5B on 72 GPUs (9x8)",
@@ -135,7 +135,7 @@ func OneVsFourGPUVMs() (*Table, error) {
 	var vals []float64
 	for _, vm := range []hw.VMType{hw.NC6v3, hw.NC24v3} {
 		cluster := hw.SpotCluster(vm, 72)
-		job, err := sharedJob(spec, cluster, 8192, 57)
+		job, err := x.sharedJob(spec, cluster, 8192, 57)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +153,7 @@ func OneVsFourGPUVMs() (*Table, error) {
 
 // Table3PipelineDepth reproduces Table 3: sensitivity of the 2.5B
 // model's throughput to pipeline depth at 36 and 100 GPUs.
-func Table3PipelineDepth() (*Table, error) {
+func Table3PipelineDepth(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	t := &Table{
 		Title:  "Table 3: sensitivity to pipeline depth (GPT-2 2.5B)",
@@ -164,7 +164,7 @@ func Table3PipelineDepth() (*Table, error) {
 		{100, 6, 16}, {100, 9, 11}, {100, 18, 5},
 	} {
 		cluster := hw.SpotCluster(hw.NC6v3, row.g)
-		job, err := sharedJob(spec, cluster, 8192, 58)
+		job, err := x.sharedJob(spec, cluster, 8192, 58)
 		if err != nil {
 			return nil, err
 		}
@@ -186,10 +186,10 @@ func Table3PipelineDepth() (*Table, error) {
 
 // AblationStragglers measures the fail-stutter handling of §4.6: a
 // fleet with one 35%-slow replica, with and without manager exclusion.
-func AblationStragglers() (*Table, error) {
+func AblationStragglers(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	cluster := hw.SpotCluster(hw.NC6v3, 80)
-	job, err := sharedJob(spec, cluster, 8192, 59)
+	job, err := x.sharedJob(spec, cluster, 8192, 59)
 	if err != nil {
 		return nil, err
 	}

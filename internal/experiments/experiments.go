@@ -129,9 +129,20 @@ func tflopsPerGPU(spec *model.Spec, exPerSecPerGPU float64) float64 {
 	return exPerSecPerGPU * spec.TrainFlopsPerExample() / 1e12
 }
 
-// jobCache memoizes calibrated jobs: several experiments share the
-// same (model, cluster) pair and calibration is the expensive step.
-var jobCache sync.Map
+// Ctx carries the state shared by the experiments of one invocation —
+// a cache of calibrated jobs: several experiments use the same
+// (model, cluster) pair and calibration is the expensive step. Each
+// serial invocation shares one Ctx across every experiment; the
+// parallel runner gives each experiment its own, so concurrently
+// running experiments never share a testbed (whose RNG is neither
+// goroutine-safe nor order-independent) and results stay deterministic
+// regardless of scheduling.
+type Ctx struct {
+	jobs sync.Map
+}
+
+// NewCtx returns an empty experiment context.
+func NewCtx() *Ctx { return &Ctx{} }
 
 type jobKey struct {
 	spec    string
@@ -140,16 +151,19 @@ type jobKey struct {
 	seed    int64
 }
 
-// sharedJob returns a calibrated core.Job for the spec/cluster pair.
-func sharedJob(spec *model.Spec, cluster hw.Cluster, mTotal int, seed int64) (*core.Job, error) {
+// sharedJob returns a calibrated core.Job for the spec/cluster pair,
+// memoized within this Ctx.
+func (x *Ctx) sharedJob(spec *model.Spec, cluster hw.Cluster, mTotal int, seed int64) (*core.Job, error) {
 	key := jobKey{spec: spec.Name, cluster: cluster.Name, mTotal: mTotal, seed: seed}
-	if v, ok := jobCache.Load(key); ok {
+	if v, ok := x.jobs.Load(key); ok {
 		return v.(*core.Job), nil
 	}
 	job, err := core.NewJob(spec, cluster, mTotal, seed)
 	if err != nil {
 		return nil, err
 	}
-	jobCache.Store(key, job)
+	if v, loaded := x.jobs.LoadOrStore(key, job); loaded {
+		return v.(*core.Job), nil
+	}
 	return job, nil
 }

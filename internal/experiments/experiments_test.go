@@ -6,6 +6,10 @@ import (
 	"testing"
 )
 
+// testCtx is shared across the package tests, mirroring the job reuse
+// of one serial varuna-bench invocation.
+var testCtx = NewCtx()
+
 // cell parses a numeric table cell ("1.23", "5.8x", "+9%").
 func cell(t *testing.T, s string) float64 {
 	t.Helper()
@@ -50,7 +54,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig4Schedules(t *testing.T) {
-	tb, err := Fig4Schedules()
+	tb, err := Fig4Schedules(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestFig4Schedules(t *testing.T) {
 }
 
 func TestFig3Availability(t *testing.T) {
-	tb, err := Fig3Availability()
+	tb, err := Fig3Availability(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +89,7 @@ func TestFig9Convergence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	tb, err := Fig9Convergence()
+	tb, err := Fig9Convergence(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestFig10TwoBW(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	tb, err := Fig10TwoBW()
+	tb, err := Fig10TwoBW(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +123,7 @@ func TestSharedStateTracer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
-	tb, err := SharedStateTracer()
+	tb, err := SharedStateTracer(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +141,7 @@ func TestTable6Pipelines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy testbed experiment")
 	}
-	tb, err := Table6Pipelines()
+	tb, err := Table6Pipelines(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +161,7 @@ func TestTable7SimAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy testbed experiment")
 	}
-	tb, err := Table7SimAccuracy()
+	tb, err := Table7SimAccuracy(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +179,7 @@ func TestFig5Ratio(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavy testbed experiment")
 	}
-	tb, err := Fig5GPT8B()
+	tb, err := Fig5GPT8B(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

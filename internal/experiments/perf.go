@@ -42,7 +42,7 @@ func varunaAt(job jobLike, p, d int) (autoconfig.Choice, float64, error) {
 // model, on commodity low-priority VMs and on the hypercluster, at
 // three fleet sizes. Mini-batch 8192; Varuna uses 18-deep pipelines
 // (18x3, 18x7, 18x16 — 54/126/288 GPUs), as in the paper.
-func Fig5GPT8B() (*Table, error) {
+func Fig5GPT8B(x *Ctx) (*Table, error) {
 	spec := model.GPT2Megatron8B()
 	const mTotal = 8192
 	t := &Table{
@@ -50,13 +50,13 @@ func Fig5GPT8B() (*Table, error) {
 		Header: []string{"GPUs", "Varuna(LP)", "Megatron(LP)", "Varuna(HC)", "Megatron(HC)", "Varuna-LP/Megatron-LP"},
 	}
 	hcCluster := hw.Hypercluster(16)
-	hcJob, err := sharedJob(spec, hcCluster, mTotal, 42)
+	hcJob, err := x.sharedJob(spec, hcCluster, mTotal, 42)
 	if err != nil {
 		return nil, err
 	}
 	for _, cfg := range []struct{ g, d int }{{64, 3}, {128, 7}, {300, 16}} {
 		lpCluster := hw.SpotCluster(hw.NC24v3, cfg.g)
-		lpJob, err := sharedJob(spec, lpCluster, mTotal, 42)
+		lpJob, err := x.sharedJob(spec, lpCluster, mTotal, 42)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +87,7 @@ func Fig5GPT8B() (*Table, error) {
 
 // Fig6GPT2B reproduces Figure 6 for the 2.5B model (Varuna at 9x7,
 // 9x14, 9x28).
-func Fig6GPT2B() (*Table, error) {
+func Fig6GPT2B(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	const mTotal = 8192
 	t := &Table{
@@ -95,13 +95,13 @@ func Fig6GPT2B() (*Table, error) {
 		Header: []string{"GPUs", "Varuna(LP)", "Megatron(LP)", "Varuna(HC)", "Megatron(HC)", "Varuna-LP/Megatron-LP"},
 	}
 	hcCluster := hw.Hypercluster(16)
-	hcJob, err := sharedJob(spec, hcCluster, mTotal, 43)
+	hcJob, err := x.sharedJob(spec, hcCluster, mTotal, 43)
 	if err != nil {
 		return nil, err
 	}
 	for _, cfg := range []struct{ g, d int }{{63, 7}, {126, 14}, {252, 28}} {
 		lpCluster := hw.SpotCluster(hw.NC24v3, cfg.g)
-		lpJob, err := sharedJob(spec, lpCluster, mTotal, 43)
+		lpJob, err := x.sharedJob(spec, lpCluster, mTotal, 43)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +134,7 @@ func Fig6GPT2B() (*Table, error) {
 // 294 low-priority GPUs and on the hypercluster; Megatron fits only a
 // 19.2B variant at 16-way inside a DGX-2, and forcing 20B to 18-way
 // crosses node boundaries and collapses.
-func Table4TwentyB() (*Table, error) {
+func Table4TwentyB(x *Ctx) (*Table, error) {
 	const mTotal = 8192
 	t := &Table{
 		Title:  "Table 4: 20B-parameter models (mini-batch 8192)",
@@ -143,7 +143,7 @@ func Table4TwentyB() (*Table, error) {
 
 	spec20 := model.GPT2Twenty20B()
 	lp := hw.SpotCluster(hw.NC6v3, 294)
-	lpJob, err := sharedJob(spec20, lp, mTotal, 44)
+	lpJob, err := x.sharedJob(spec20, lp, mTotal, 44)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +172,7 @@ func Table4TwentyB() (*Table, error) {
 	ex20 := float64(mTotal) / meg20.Seconds() / float64(18*14)
 	t.Add("20B Megatron (HC, 18-way forced)", "252", f3(ex20), f1(tflopsPerGPU(spec20, ex20)))
 
-	hcJob, err := sharedJob(spec20, hc, mTotal, 44)
+	hcJob, err := x.sharedJob(spec20, hc, mTotal, 44)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +198,7 @@ func Table4TwentyB() (*Table, error) {
 // BERTLargeAnd200B reproduces §7.1.1's prose results: BERT-large 4x8
 // on 32 commodity GPUs vs the data-parallel DGX-1 baseline, and the
 // 200B model at 102x1 with host-offloaded optimizer state.
-func BERTLargeAnd200B() (*Table, error) {
+func BERTLargeAnd200B(x *Ctx) (*Table, error) {
 	t := &Table{
 		Title:  "§7.1.1: BERT-large and the 200B model",
 		Header: []string{"Workload", "Config", "Total ex/s", "Ex/s/GPU", "TFlops/s/GPU"},
@@ -206,7 +206,7 @@ func BERTLargeAnd200B() (*Table, error) {
 
 	bert := model.BERTLarge()
 	cluster := hw.SpotCluster(hw.NC24v3, 32)
-	job, err := sharedJob(bert, cluster, 32768, 45)
+	job, err := x.sharedJob(bert, cluster, 32768, 45)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +225,7 @@ func BERTLargeAnd200B() (*Table, error) {
 
 	b200 := model.GPT2TwoHundredB()
 	lp := hw.SpotCluster(hw.NC6v3, 102)
-	job200, err := sharedJob(b200, lp, 512, 46)
+	job200, err := x.sharedJob(b200, lp, 512, 46)
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +259,7 @@ func BERTLargeAnd200B() (*Table, error) {
 
 // Scaling reproduces the §7.1.3 scaling claim: per-GPU throughput of
 // the 8.3B model drops only a few percent from 54 to 288 GPUs.
-func Scaling() (*Table, error) {
+func Scaling(x *Ctx) (*Table, error) {
 	spec := model.GPT2Megatron8B()
 	t := &Table{
 		Title:  "§7.1.3 Scaling: GPT-2 8.3B per-GPU throughput vs fleet size",
@@ -268,7 +268,7 @@ func Scaling() (*Table, error) {
 	var base float64
 	for _, cfg := range []struct{ g, d int }{{54, 3}, {126, 7}, {288, 16}} {
 		cluster := hw.SpotCluster(hw.NC6v3, cfg.g)
-		job, err := sharedJob(spec, cluster, 8192, 47)
+		job, err := x.sharedJob(spec, cluster, 8192, 47)
 		if err != nil {
 			return nil, err
 		}

@@ -14,7 +14,7 @@ import (
 // Fig4Schedules reproduces Figure 4: Varuna's micro-batch schedule
 // contrasted against GPipe for a 4-stage pipeline with 5 micro-batches
 // (B = 2F, R = F), including the one-time-unit makespan advantage.
-func Fig4Schedules() (*Table, error) {
+func Fig4Schedules(x *Ctx) (*Table, error) {
 	costs := sim.UnitCosts(4, simtime.Millisecond)
 	varunaOrders, err := sim.VarunaOrders(4, 5, costs)
 	if err != nil {
@@ -50,10 +50,10 @@ func Fig4Schedules() (*Table, error) {
 // Fig7Gantt reproduces Figure 7: the task timeline of one Varuna
 // mini-batch on the 20B model in its 49x6 configuration (one replica
 // shown).
-func Fig7Gantt() (*Table, error) {
+func Fig7Gantt(x *Ctx) (*Table, error) {
 	spec := model.GPT2Twenty20B()
 	cluster := hw.SpotCluster(hw.NC6v3, 294)
-	job, err := sharedJob(spec, cluster, 8192, 44)
+	job, err := x.sharedJob(spec, cluster, 8192, 44)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +83,7 @@ func Fig7Gantt() (*Table, error) {
 // Table5GPipe reproduces Table 5: Varuna vs GPipe on BERT-72 inside a
 // single 4-GPU node at micro-batch 16 and 32, plus the simulated 8.3B
 // comparison at 1x / 1.5x / 2x slower networks.
-func Table5GPipe() (*Table, error) {
+func Table5GPipe(x *Ctx) (*Table, error) {
 	t := &Table{
 		Title:  "Table 5: Varuna vs GPipe (ex/s/GPU), mini-batch 8192",
 		Header: []string{"Workload", "Varuna", "GPipe", "Varuna advantage"},
@@ -91,7 +91,7 @@ func Table5GPipe() (*Table, error) {
 
 	bert := model.BERT72()
 	cluster := hw.SpotCluster(hw.NC24v3, 4)
-	job, err := sharedJob(bert, cluster, 8192, 48)
+	job, err := x.sharedJob(bert, cluster, 8192, 48)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +120,7 @@ func Table5GPipe() (*Table, error) {
 	// the network 1x / 1.5x / 2x (§7.1.2 used exactly this method).
 	spec := model.GPT2Megatron8B()
 	lp := hw.SpotCluster(hw.NC6v3, 57)
-	job8, err := sharedJob(spec, lp, 8192, 48)
+	job8, err := x.sharedJob(spec, lp, 8192, 48)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func Table5GPipe() (*Table, error) {
 
 // Table6Pipelines reproduces Table 6: Varuna vs DeepSpeed vs
 // Megatron-1F1B vs PipeDream on 1-GPU commodity VMs, mini-batch 2400.
-func Table6Pipelines() (*Table, error) {
+func Table6Pipelines(x *Ctx) (*Table, error) {
 	t := &Table{
 		Title:  "Table 6: pipeline systems on 1-GPU VMs (ex/s/GPU), mini-batch 2400",
 		Header: []string{"Model (PxD)", "Varuna", "DeepSpeed", "Megatron-1F1B", "PipeDream"},
@@ -179,7 +179,7 @@ func Table6Pipelines() (*Table, error) {
 		{model.GPT2XL2B(), 9, 8},
 	} {
 		cluster := hw.SpotCluster(hw.NC6v3, w.p*w.d)
-		job, err := sharedJob(w.spec, cluster, 2400, 49)
+		job, err := x.sharedJob(w.spec, cluster, 2400, 49)
 		if err != nil {
 			return nil, err
 		}

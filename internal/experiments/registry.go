@@ -6,8 +6,8 @@ type Entry struct {
 	ID string
 	// Paper locates the result in the paper.
 	Paper string
-	// Run executes the experiment.
-	Run func() (*Table, error)
+	// Run executes the experiment against the given context.
+	Run func(x *Ctx) (*Table, error)
 }
 
 // All lists every experiment, in paper order.

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+)
+
+// Report is the machine-readable record of one experiment execution,
+// serialized by varuna-bench as BENCH_<id>.json so the repository's
+// perf trajectory is tracked run over run.
+type Report struct {
+	// ID is the experiment's registry id.
+	ID string `json:"id"`
+	// Paper locates the reproduced result in the paper.
+	Paper string `json:"paper"`
+	// WallMS is the experiment's wall-clock runtime in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// OK reports whether the experiment completed without error.
+	OK bool `json:"ok"`
+	// Error holds the failure message when OK is false.
+	Error string `json:"error,omitempty"`
+	// Table is the rendered result (not serialized; the text artifact
+	// is the table printed by the caller).
+	Table *Table `json:"-"`
+}
+
+func runOne(e Entry, x *Ctx) Report {
+	start := time.Now()
+	t, err := e.Run(x)
+	r := Report{
+		ID:     e.ID,
+		Paper:  e.Paper,
+		WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		OK:     err == nil,
+		Table:  t,
+	}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	return r
+}
+
+// RunEntries executes the given experiments and returns their reports
+// in entry order. onDone, when non-nil, receives each report in entry
+// order as soon as it and all its predecessors have finished, so a
+// serial run streams results as they complete.
+//
+// workers <= 1 runs serially with one shared Ctx: calibrated jobs are
+// reused across experiments. workers > 1 runs up to that many
+// experiments concurrently, each with its own isolated Ctx — results
+// are then deterministic regardless of scheduling, at the price of
+// re-calibrating jobs that a serial run would have shared (and, for
+// experiments whose testbed RNG stream previously carried over from an
+// earlier experiment, numerically different but equally valid jitter
+// samples).
+func RunEntries(entries []Entry, workers int, onDone func(Report)) []Report {
+	reports := make([]Report, len(entries))
+	if onDone == nil {
+		onDone = func(Report) {}
+	}
+	if workers <= 1 {
+		x := NewCtx()
+		for i, e := range entries {
+			reports[i] = runOne(e, x)
+			onDone(reports[i])
+		}
+		return reports
+	}
+
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(entries))
+		frontier int
+		next     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(entries) {
+					return
+				}
+				r := runOne(entries[i], NewCtx())
+				mu.Lock()
+				reports[i] = r
+				done[i] = true
+				// Flush the contiguous completed prefix in order.
+				for frontier < len(entries) && done[frontier] {
+					onDone(reports[frontier])
+					frontier++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return reports
+}

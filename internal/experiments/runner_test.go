@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// lightEntries picks experiments that run in well under a second, so
+// the runner paths get exercised without testbed calibration cost.
+func lightEntries(t *testing.T) []Entry {
+	t.Helper()
+	var out []Entry
+	for _, id := range []string{"fig3", "fig4"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestRunEntriesSerialStreamsInOrder(t *testing.T) {
+	entries := lightEntries(t)
+	var order []string
+	reports := RunEntries(entries, 1, func(r Report) { order = append(order, r.ID) })
+	if len(reports) != len(entries) {
+		t.Fatalf("%d reports for %d entries", len(reports), len(entries))
+	}
+	for i, e := range entries {
+		if order[i] != e.ID || reports[i].ID != e.ID {
+			t.Fatalf("order %v, want registry order", order)
+		}
+		if !reports[i].OK || reports[i].Table == nil {
+			t.Fatalf("%s failed: %s", e.ID, reports[i].Error)
+		}
+		if reports[i].WallMS < 0 {
+			t.Fatalf("%s: negative wall time", e.ID)
+		}
+	}
+}
+
+func TestRunEntriesParallelMatchesSerial(t *testing.T) {
+	entries := lightEntries(t)
+	serial := RunEntries(entries, 1, nil)
+	var order []string
+	parallel := RunEntries(entries, 4, func(r Report) { order = append(order, r.ID) })
+	for i := range entries {
+		if order[i] != entries[i].ID {
+			t.Fatalf("parallel onDone order %v, want registry order", order)
+		}
+		if !parallel[i].OK {
+			t.Fatalf("%s failed in parallel: %s", parallel[i].ID, parallel[i].Error)
+		}
+		// fig3/fig4 are pure simulation: isolated contexts must yield
+		// the exact same tables as the serial shared context.
+		if parallel[i].Table.String() != serial[i].Table.String() {
+			t.Fatalf("%s diverged between serial and parallel runs", entries[i].ID)
+		}
+	}
+}
+
+func TestRunEntriesReportsErrors(t *testing.T) {
+	entries := []Entry{{
+		ID:    "boom",
+		Paper: "none",
+		Run:   func(*Ctx) (*Table, error) { return nil, fmt.Errorf("kaput") },
+	}}
+	reports := RunEntries(entries, 2, nil)
+	if reports[0].OK || reports[0].Error != "kaput" {
+		t.Fatalf("error not reported: %+v", reports[0])
+	}
+}

@@ -16,7 +16,7 @@ import (
 // estimated mini-batch time against the measured ("actual") time for
 // twelve configurations of the 8.3B and 2.5B models. The paper reports
 // all errors within 5%.
-func Table7SimAccuracy() (*Table, error) {
+func Table7SimAccuracy(x *Ctx) (*Table, error) {
 	t := &Table{
 		Title:  "Table 7: simulator estimates vs actual mini-batch times",
 		Header: []string{"Model", "Config (PxD)", "Estimated (s)", "Actual (s)", "Error"},
@@ -42,7 +42,7 @@ func Table7SimAccuracy() (*Table, error) {
 	var worst float64
 	for _, c := range cases {
 		cluster := hw.SpotCluster(hw.NC6v3, c.p*c.d)
-		job, err := sharedJob(c.spec, cluster, 8192, 50)
+		job, err := x.sharedJob(c.spec, cluster, 8192, 50)
 		if err != nil {
 			return nil, err
 		}
@@ -87,10 +87,10 @@ func Table7SimAccuracy() (*Table, error) {
 // SimulatorSpeed reproduces the §7.2 simulator-runtime measurement:
 // wall-clock time to simulate one full mini-batch of a 128-GPU,
 // batch-8192 job at P=36/24/18. The paper reports 660/376/391 ms.
-func SimulatorSpeed() (*Table, error) {
+func SimulatorSpeed(x *Ctx) (*Table, error) {
 	spec := model.GPT2Megatron8B()
 	cluster := hw.SpotCluster(hw.NC6v3, 128)
-	job, err := sharedJob(spec, cluster, 8192, 50)
+	job, err := x.sharedJob(spec, cluster, 8192, 50)
 	if err != nil {
 		return nil, err
 	}
@@ -125,10 +125,10 @@ func SimulatorSpeed() (*Table, error) {
 // AblationOpportunistic measures Varuna's opportunistic scheduling
 // against the strict static-schedule replay under commodity jitter —
 // the design choice behind Observation 3.
-func AblationOpportunistic() (*Table, error) {
+func AblationOpportunistic(x *Ctx) (*Table, error) {
 	spec := model.GPT2Megatron8B()
 	cluster := hw.SpotCluster(hw.NC6v3, 72)
-	job, err := sharedJob(spec, cluster, 8192, 51)
+	job, err := x.sharedJob(spec, cluster, 8192, 51)
 	if err != nil {
 		return nil, err
 	}
@@ -169,10 +169,10 @@ func AblationOpportunistic() (*Table, error) {
 // AblationMicroBatch reproduces the §4.1 observation that micro-batch
 // size trades kernel efficiency against pipeline efficiency (m=8 is
 // ~26% better than m=4 per example in BERT-large kernels).
-func AblationMicroBatch() (*Table, error) {
+func AblationMicroBatch(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	cluster := hw.SpotCluster(hw.NC6v3, 63)
-	job, err := sharedJob(spec, cluster, 8192, 52)
+	job, err := x.sharedJob(spec, cluster, 8192, 52)
 	if err != nil {
 		return nil, err
 	}
@@ -205,10 +205,10 @@ func AblationMicroBatch() (*Table, error) {
 
 // AblationLastStagePacking measures the §3.2 design choice of packing
 // the lm_head into the recompute-free last stage versus a flat split.
-func AblationLastStagePacking() (*Table, error) {
+func AblationLastStagePacking(x *Ctx) (*Table, error) {
 	spec := model.GPT2XL2B()
 	cluster := hw.SpotCluster(hw.NC6v3, 63)
-	job, err := sharedJob(spec, cluster, 8192, 53)
+	job, err := x.sharedJob(spec, cluster, 8192, 53)
 	if err != nil {
 		return nil, err
 	}

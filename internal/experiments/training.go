@@ -46,7 +46,7 @@ func lossCurve(label string, losses []float64, lo, hi float64) string {
 // with a 16x larger mini-batch for 16x fewer iterations reaches the
 // same held-out loss, and a mid-run morph (new P×D from a checkpoint)
 // leaves the trajectory unchanged.
-func Fig9Convergence() (*Table, error) {
+func Fig9Convergence(x *Ctx) (*Table, error) {
 	const (
 		smallBatch = 16
 		bigBatch   = 256 // 16x
@@ -114,7 +114,7 @@ func Fig9Convergence() (*Table, error) {
 
 // Fig10TwoBW reproduces the appendix finding: stale-update pipelines
 // (PipeDream/2BW-style) destabilize training that sync-SGD handles.
-func Fig10TwoBW() (*Table, error) {
+func Fig10TwoBW(x *Ctx) (*Table, error) {
 	const steps = 40
 	sync, err := engine.New(engine.Config{GPT: charGPT(), P: 4, D: 1, MicroBatch: 4,
 		BatchSize: 64, LR: 3e-2, DataSeed: 33})
@@ -167,7 +167,7 @@ func maxOf(xs []float64) float64 {
 // SharedStateTracer demonstrates §5.2 end-to-end: the tracer flags the
 // tied embedding when a partition boundary separates it, and training
 // without the mandated synchronization drifts from the reference.
-func SharedStateTracer() (*Table, error) {
+func SharedStateTracer(x *Ctx) (*Table, error) {
 	ref, err := engine.New(engine.Config{GPT: charGPT(), P: 1, D: 1, MicroBatch: 8,
 		BatchSize: 32, LR: 3e-3, DataSeed: 35})
 	if err != nil {

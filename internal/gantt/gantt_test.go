@@ -13,7 +13,7 @@ func trace(t *testing.T) ([]sim.TaskSpan, int) {
 	t.Helper()
 	res, err := sim.Run(sim.Config{
 		Depth: 4, Micros: 5, Policy: schedule.Varuna,
-		Costs: sim.UnitCosts(4, simtime.Millisecond),
+		Costs: sim.UnitCosts(4, simtime.Millisecond), CollectTrace: true,
 	})
 	if err != nil {
 		t.Fatal(err)

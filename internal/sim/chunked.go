@@ -46,11 +46,11 @@ func RunChunked(cfg Config, chunk int, gen func(depth, micros int) (*schedule.Sc
 		if err != nil {
 			return Result{}, err
 		}
+		busy += res.Busy
 		for _, span := range res.Trace {
 			span.Start = span.Start.Add(simtime.Duration(offset))
 			span.End = span.End.Add(simtime.Duration(offset))
 			total.Trace = append(total.Trace, span)
-			busy += span.End.Sub(span.Start)
 		}
 		total.OpportunisticRuns += res.OpportunisticRuns
 		total.StageEnds = make([]simtime.Time, len(res.StageEnds))
@@ -74,6 +74,7 @@ func RunChunked(cfg Config, chunk int, gen func(depth, micros int) (*schedule.Sc
 		}
 	}
 	total.Makespan = total.PipelineSpan + tail
+	total.Busy = busy
 	if total.PipelineSpan > 0 {
 		whole := total.PipelineSpan * simtime.Duration(cfg.Depth)
 		total.BubbleFrac = 1 - float64(busy)/float64(whole)
@@ -93,6 +94,9 @@ func EstimateMakespan(cfg Config) (simtime.Duration, error) {
 	if cfg.Depth < 1 {
 		return 0, fmt.Errorf("sim: bad depth %d", cfg.Depth)
 	}
+	// Estimation only needs the makespan: always take the no-trace
+	// fast path, whatever the caller's Config says.
+	cfg.CollectTrace = false
 	anchor := 8 * cfg.Depth
 	if cfg.Micros <= anchor || cfg.Micros < 16 {
 		res, err := Run(cfg)

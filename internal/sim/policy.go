@@ -212,10 +212,11 @@ func (e *executor) taskReady(st *stageState, t schedule.Task, now simtime.Time) 
 // stage sticks to absent jitter (§3.2).
 func VarunaOrders(depth, micros int, costs []StageCosts) (*schedule.Schedule, error) {
 	res, err := Run(Config{
-		Depth:  depth,
-		Micros: micros,
-		Policy: schedule.Varuna,
-		Costs:  costs,
+		Depth:        depth,
+		Micros:       micros,
+		Policy:       schedule.Varuna,
+		Costs:        costs,
+		CollectTrace: true,
 	})
 	if err != nil {
 		return nil, err

@@ -18,11 +18,19 @@
 //     another ready task (work conservation under jitter).
 //   - Strict orders (GPipe, 1F1B, DeepSpeed): the stage follows a fixed
 //     task list, stalling whenever the next task's inputs are missing.
+//
+// The simulate-and-decide loop is Varuna's morphing hot path (§7.2):
+// the executor is pooled across invocations, all per-stage bookkeeping
+// lives in flat backing arrays reused run to run, and every event goes
+// through the event queue's allocation-free ScheduleCall path. With
+// CollectTrace off (the default for EstimateMakespan) a steady-state
+// simulation performs no per-task allocations at all.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/schedule"
 	"repro/internal/simtime"
@@ -75,6 +83,13 @@ type Config struct {
 	// MaxInFlight caps forwarded-but-not-backwarded micro-batches per
 	// stage in rule mode (activation stash memory). 0 means 2·Depth.
 	MaxInFlight int
+	// CollectTrace records the per-task TaskSpan trace in the Result.
+	// It defaults to off — the makespan-only fast path used by
+	// EstimateMakespan and the autoconfig sweep — and must be set by
+	// callers that render Gantt charts or derive static orders. All
+	// summary metrics (Makespan, PipelineSpan, StageEnds, BubbleFrac)
+	// are identical with the trace on or off.
+	CollectTrace bool
 }
 
 // TaskSpan is one executed task in the trace.
@@ -91,11 +106,16 @@ type Result struct {
 	Makespan simtime.Duration
 	// PipelineSpan is the time until the last backward completes.
 	PipelineSpan simtime.Duration
-	// Trace lists every executed task in start order.
+	// Trace lists every executed task in start order. Empty unless
+	// Config.CollectTrace was set.
 	Trace []TaskSpan
 	// StageEnds records when each stage finished its last backward —
 	// the point its data-parallel allreduce can begin.
 	StageEnds []simtime.Time
+	// Busy is the summed task time across all stages up to the
+	// pipeline span — the complement of BubbleFrac, available even
+	// when the trace is off.
+	Busy simtime.Duration
 	// BubbleFrac is idle stage-time divided by total stage-time up to
 	// the pipeline span.
 	BubbleFrac float64
@@ -132,12 +152,145 @@ type stageState struct {
 	wakeAt    simtime.Time // pending scheduled wake (dedupe)
 }
 
+// executor simulates one mini-batch. Instances are pooled: all
+// per-stage bookkeeping slices point into the flat timeBuf/boolBuf/
+// orderBuf backing arrays, which are resized (not reallocated) between
+// runs, and the event callbacks are bound once per instance so the
+// event queue never wraps a fresh closure on the hot path.
 type executor struct {
 	cfg    Config
 	q      simtime.EventQueue
-	stages []*stageState
+	stages []stageState
 	trace  []TaskSpan
 	opport int
+
+	timeBuf  []simtime.Time
+	boolBuf  []bool
+	orderBuf []bool
+
+	onTry, onComplete, onActArrive, onGradArrive, onWake func(a, b int32)
+}
+
+var execPool = sync.Pool{New: func() any { return newExecutor() }}
+
+func newExecutor() *executor {
+	e := &executor{}
+	e.onTry = func(s, _ int32) { e.try(int(s)) }
+	e.onComplete = func(s, packed int32) {
+		t := schedule.Task{Kind: schedule.Kind(packed >> 24), Micro: int(packed & (1<<24 - 1))}
+		e.complete(&e.stages[s], t, e.q.Now())
+	}
+	e.onActArrive = func(s, m int32) {
+		e.stages[s].actArrival[m] = e.q.Now()
+		e.try(int(s))
+	}
+	e.onGradArrive = func(s, m int32) {
+		e.stages[s].gradArrival[m] = e.q.Now()
+		e.try(int(s))
+	}
+	e.onWake = func(s, _ int32) {
+		st := &e.stages[s]
+		if st.wakeAt == e.q.Now() {
+			st.wakeAt = never
+		}
+		e.try(int(s))
+	}
+	return e
+}
+
+// packTask encodes a task for the two-int32 event-callback channel.
+func packTask(t schedule.Task) int32 { return int32(t.Kind)<<24 | int32(t.Micro) }
+
+// grab carves n slots off buf, growing it as needed. Slices carved
+// before a growth keep aliasing the old backing array — harmless,
+// since every carved slice is private to one stage.
+func grab[T any](buf *[]T, n int) []T {
+	s := *buf
+	off := len(s)
+	if cap(s)-off < n {
+		grown := make([]T, off, 2*(off+n))
+		copy(grown, s)
+		s = grown
+	}
+	s = s[:off+n]
+	*buf = s
+	return s[off : off+n : off+n]
+}
+
+// reset prepares the pooled executor for a new run of cfg.
+func (e *executor) reset(cfg Config) {
+	e.cfg = cfg
+	e.opport = 0
+	e.q.Reset()
+	e.timeBuf = e.timeBuf[:0]
+	e.boolBuf = e.boolBuf[:0]
+	e.orderBuf = e.orderBuf[:0]
+	e.trace = nil
+	if cfg.CollectTrace {
+		e.trace = make([]TaskSpan, 0, 3*cfg.Depth*cfg.Micros)
+	}
+	if cap(e.stages) < cfg.Depth {
+		e.stages = make([]stageState, cfg.Depth)
+	} else {
+		e.stages = e.stages[:cfg.Depth]
+	}
+	nm := cfg.Micros
+	for s := 0; s < cfg.Depth; s++ {
+		st := &e.stages[s]
+		*st = stageState{
+			idx:           s,
+			actArrival:    grab(&e.timeBuf, nm),
+			gradArrival:   grab(&e.timeBuf, nm),
+			gradAnnounce:  grab(&e.timeBuf, nm),
+			fwdSenderEnd:  grab(&e.timeBuf, nm),
+			gradSenderEnd: grab(&e.timeBuf, nm),
+			fwdDone:       grab(&e.boolBuf, nm),
+			recDone:       grab(&e.boolBuf, nm),
+			bwdDone:       grab(&e.boolBuf, nm),
+			hot:           -1,
+			locked:        -1,
+			bwdLeft:       nm,
+			wakeAt:        never,
+		}
+		for m := 0; m < nm; m++ {
+			st.gradArrival[m] = never
+			st.gradAnnounce[m] = never
+			st.fwdSenderEnd[m] = never
+			st.gradSenderEnd[m] = never
+			st.fwdDone[m] = false
+			st.recDone[m] = false
+			st.bwdDone[m] = false
+			if s == 0 {
+				st.actArrival[m] = 0
+				st.fwdSenderEnd[m] = 0
+			} else {
+				st.actArrival[m] = never
+			}
+		}
+		if !cfg.Policy.Rule {
+			st.orderDone = grab(&e.orderBuf, len(cfg.Orders[s]))
+			for i := range st.orderDone {
+				st.orderDone[i] = false
+			}
+			st.hasRec = grab(&e.boolBuf, nm)
+			for m := range st.hasRec {
+				st.hasRec[m] = false
+			}
+			for _, t := range cfg.Orders[s] {
+				if t.Kind == schedule.Recompute {
+					st.hasRec[t.Micro] = true
+				}
+			}
+		}
+	}
+}
+
+// release returns the executor to the pool, dropping every reference
+// into caller-owned state (costs, orders, rand, trace).
+func (e *executor) release() {
+	e.cfg = Config{}
+	e.trace = nil
+	execPool.Put(e)
 }
 
 // Run simulates one mini-batch under cfg.
@@ -145,51 +298,20 @@ func Run(cfg Config) (Result, error) {
 	if err := validate(&cfg); err != nil {
 		return Result{}, err
 	}
-	e := &executor{cfg: cfg}
-	e.stages = make([]*stageState, cfg.Depth)
+	e := execPool.Get().(*executor)
+	defer e.release()
+	e.reset(cfg)
 	for s := 0; s < cfg.Depth; s++ {
-		st := &stageState{
-			idx:           s,
-			actArrival:    fillTimes(cfg.Micros, never),
-			gradArrival:   fillTimes(cfg.Micros, never),
-			gradAnnounce:  fillTimes(cfg.Micros, never),
-			fwdSenderEnd:  fillTimes(cfg.Micros, never),
-			gradSenderEnd: fillTimes(cfg.Micros, never),
-			fwdDone:       make([]bool, cfg.Micros),
-			recDone:       make([]bool, cfg.Micros),
-			bwdDone:       make([]bool, cfg.Micros),
-			hot:           -1,
-			locked:        -1,
-			bwdLeft:       cfg.Micros,
-			wakeAt:        never,
-		}
-		if s == 0 {
-			for m := 0; m < cfg.Micros; m++ {
-				st.actArrival[m] = 0
-				st.fwdSenderEnd[m] = 0
-			}
-		}
-		if !cfg.Policy.Rule {
-			st.orderDone = make([]bool, len(cfg.Orders[s]))
-			st.hasRec = make([]bool, cfg.Micros)
-			for _, t := range cfg.Orders[s] {
-				if t.Kind == schedule.Recompute {
-					st.hasRec[t.Micro] = true
-				}
-			}
-		}
-		e.stages[s] = st
-	}
-	for s := range e.stages {
-		s := s
-		e.q.Schedule(0, func() { e.try(s) })
+		e.q.ScheduleCall(0, e.onTry, int32(s), 0)
 	}
 	e.q.Run(0)
 
 	res := Result{Trace: e.trace, OpportunisticRuns: e.opport, StageEnds: make([]simtime.Time, cfg.Depth)}
+	e.trace = nil // ownership moves to the caller
 	var pipeEnd, fullEnd simtime.Time
 	var busy simtime.Duration
-	for i, st := range e.stages {
+	for i := range e.stages {
+		st := &e.stages[i]
 		if st.bwdLeft > 0 {
 			return Result{}, fmt.Errorf("sim: deadlock — stage %d has %d backwards pending", st.idx, st.bwdLeft)
 		}
@@ -197,8 +319,8 @@ func Run(cfg Config) (Result, error) {
 		pipeEnd = simtime.Max(pipeEnd, st.lastBwd)
 		busy += st.busySum
 	}
-	for s, st := range e.stages {
-		end := st.lastBwd
+	for s := range e.stages {
+		end := e.stages[s].lastBwd
 		if !e.cfg.Policy.NoFlush {
 			end = end.Add(e.netDur(e.cfg.Costs[s].AllReduce))
 		}
@@ -207,6 +329,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.PipelineSpan = simtime.Duration(pipeEnd)
 	res.Makespan = simtime.Duration(fullEnd)
+	res.Busy = busy
 	if pipeEnd > 0 {
 		total := simtime.Duration(pipeEnd) * simtime.Duration(cfg.Depth)
 		res.BubbleFrac = 1 - float64(busy)/float64(total)
@@ -217,6 +340,9 @@ func Run(cfg Config) (Result, error) {
 func validate(cfg *Config) error {
 	if cfg.Depth < 1 || cfg.Micros < 1 {
 		return fmt.Errorf("sim: bad shape depth=%d micros=%d", cfg.Depth, cfg.Micros)
+	}
+	if cfg.Micros >= 1<<24 {
+		return fmt.Errorf("sim: %d micro-batches exceeds the executor's 2^24 limit", cfg.Micros)
 	}
 	if len(cfg.Costs) != cfg.Depth {
 		return fmt.Errorf("sim: %d cost entries for depth %d", len(cfg.Costs), cfg.Depth)
@@ -240,14 +366,6 @@ func validate(cfg *Config) error {
 		cfg.MaxInFlight = 2 * cfg.Depth
 	}
 	return nil
-}
-
-func fillTimes(n int, v simtime.Time) []simtime.Time {
-	t := make([]simtime.Time, n)
-	for i := range t {
-		t[i] = v
-	}
-	return t
 }
 
 // dur applies compute jitter and per-stage speed factors to a mean
@@ -275,7 +393,7 @@ func (e *executor) netDur(mean simtime.Duration) simtime.Duration {
 // try attempts to start work on stage s; called whenever the stage
 // completes a task or a new input arrives.
 func (e *executor) try(s int) {
-	st := e.stages[s]
+	st := &e.stages[s]
 	if st.busy || st.bwdLeft == 0 {
 		return
 	}
@@ -303,28 +421,26 @@ func (e *executor) start(st *stageState, t schedule.Task, now simtime.Time, extr
 	end := now.Add(d)
 	st.busy = true
 	st.busySum += d
-	e.trace = append(e.trace, TaskSpan{Stage: st.idx, Task: t, Start: now, End: end})
+	if e.cfg.CollectTrace {
+		e.trace = append(e.trace, TaskSpan{Stage: st.idx, Task: t, Start: now, End: end})
+	}
 
 	// Gradient-arrival announcement: the moment a backward starts, its
 	// completion (and hence the gradient's arrival upstream) is known,
 	// letting the upstream stage schedule a just-in-time recompute
 	// (§3.2 constraint 1).
 	if t.Kind == schedule.Backward && st.idx > 0 {
-		up := e.stages[st.idx-1]
+		up := &e.stages[st.idx-1]
 		xfer := e.netDur(c.GradSend)
 		arr := end.Add(xfer)
 		up.gradAnnounce[t.Micro] = arr
 		up.gradSenderEnd[t.Micro] = end
-		m := t.Micro
-		e.q.Schedule(arr, func() {
-			up.gradArrival[m] = arr
-			e.try(up.idx)
-		})
+		e.q.ScheduleCall(arr, e.onGradArrive, int32(up.idx), int32(t.Micro))
 		// Wake upstream now so it can plan the recompute.
-		e.q.Schedule(now, func() { e.try(up.idx) })
+		e.q.ScheduleCall(now, e.onTry, int32(up.idx), 0)
 	}
 
-	e.q.Schedule(end, func() { e.complete(st, t, end) })
+	e.q.ScheduleCall(end, e.onComplete, int32(st.idx), packTask(t))
 }
 
 func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
@@ -335,15 +451,11 @@ func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
 		st.hot = t.Micro
 		st.inFlight++
 		if st.idx < e.cfg.Depth-1 {
-			down := e.stages[st.idx+1]
+			down := &e.stages[st.idx+1]
 			xfer := e.netDur(e.cfg.Costs[st.idx].ActSend)
 			arr := end.Add(xfer)
-			m := t.Micro
-			down.fwdSenderEnd[m] = end
-			e.q.Schedule(arr, func() {
-				down.actArrival[m] = arr
-				e.try(down.idx)
-			})
+			down.fwdSenderEnd[t.Micro] = end
+			e.q.ScheduleCall(arr, e.onActArrive, int32(down.idx), int32(t.Micro))
 		} else {
 			// Last stage: loss computed, gradient available locally.
 			st.gradArrival[t.Micro] = end
@@ -421,11 +533,5 @@ func (e *executor) wake(st *stageState, t simtime.Time) {
 		return
 	}
 	st.wakeAt = t
-	s := st.idx
-	e.q.Schedule(t, func() {
-		if e.stages[s].wakeAt == t {
-			e.stages[s].wakeAt = never
-		}
-		e.try(s)
-	})
+	e.q.ScheduleCall(t, e.onWake, int32(st.idx), 0)
 }

@@ -25,7 +25,7 @@ func gpipeConfig(t *testing.T, depth, micros int) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Config{Depth: depth, Micros: micros, Policy: schedule.GPipeP, Orders: s.Orders, Costs: UnitCosts(depth, unit)}
+	return Config{Depth: depth, Micros: micros, Policy: schedule.GPipeP, Orders: s.Orders, Costs: UnitCosts(depth, unit), CollectTrace: true}
 }
 
 func TestVarunaBeatsGPipeFigure4(t *testing.T) {
@@ -46,7 +46,7 @@ func TestVarunaBeatsGPipeFigure4(t *testing.T) {
 func TestVarunaLastStageNoRecompute(t *testing.T) {
 	// §3.2: "the last stage (S4) in Varuna does not perform any
 	// recompute".
-	res := mustRun(t, Config{Depth: 4, Micros: 5, Policy: schedule.Varuna, Costs: UnitCosts(4, unit)})
+	res := mustRun(t, Config{Depth: 4, Micros: 5, Policy: schedule.Varuna, Costs: UnitCosts(4, unit), CollectTrace: true})
 	for _, span := range res.Trace {
 		if span.Stage == 3 && span.Task.Kind == schedule.Recompute {
 			t.Fatalf("last stage ran %v", span.Task)
@@ -117,7 +117,7 @@ func TestStrictGPipeExecution(t *testing.T) {
 func TestDeterminismWithJitter(t *testing.T) {
 	run := func() Result {
 		return mustRun(t, Config{
-			Depth: 4, Micros: 8, Policy: schedule.Varuna,
+			Depth: 4, Micros: 8, Policy: schedule.Varuna, CollectTrace: true,
 			Costs: UnitCosts(4, unit), JitterCV: 0.3, Rand: simtime.NewRand(99),
 		})
 	}
@@ -202,7 +202,7 @@ func TestVarunaToleratesJitterBetterThanGPipe(t *testing.T) {
 }
 
 func TestRunChunkedBasics(t *testing.T) {
-	cfg := Config{Depth: 4, Micros: 20, Policy: schedule.GPipeP, Costs: UnitCosts(4, unit)}
+	cfg := Config{Depth: 4, Micros: 20, Policy: schedule.GPipeP, Costs: UnitCosts(4, unit), CollectTrace: true}
 	whole, err := RunChunked(cfg, 20, schedule.GPipe)
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +362,7 @@ func TestRandomShapesNeverDeadlock(t *testing.T) {
 }
 
 func TestTraceWellFormed(t *testing.T) {
-	res := mustRun(t, Config{Depth: 4, Micros: 8, Policy: schedule.Varuna, Costs: UnitCosts(4, unit)})
+	res := mustRun(t, Config{Depth: 4, Micros: 8, Policy: schedule.Varuna, Costs: UnitCosts(4, unit), CollectTrace: true})
 	var lastEnd [4]simtime.Time
 	for _, span := range res.Trace {
 		if span.End <= span.Start {
@@ -377,7 +377,7 @@ func TestTraceWellFormed(t *testing.T) {
 
 func TestSingleStagePipeline(t *testing.T) {
 	// Degenerate P=1: pure gradient accumulation, F then B per micro.
-	res := mustRun(t, Config{Depth: 1, Micros: 4, Policy: schedule.Varuna, Costs: UnitCosts(1, unit)})
+	res := mustRun(t, Config{Depth: 1, Micros: 4, Policy: schedule.Varuna, Costs: UnitCosts(1, unit), CollectTrace: true})
 	if len(res.Trace) != 8 {
 		t.Fatalf("P=1 trace = %d tasks, want 8 (4F+4B)", len(res.Trace))
 	}
@@ -429,7 +429,7 @@ func TestWorkConservationProperty(t *testing.T) {
 			}
 			return true
 		}
-		res, err := Run(Config{Depth: depth, Micros: micros, Policy: schedule.Varuna,
+		res, err := Run(Config{Depth: depth, Micros: micros, Policy: schedule.Varuna, CollectTrace: true,
 			Costs: UnitCosts(depth, unit), JitterCV: cv, Rand: rng})
 		if err != nil || !check(res) {
 			return false
@@ -438,7 +438,7 @@ func TestWorkConservationProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res2, err := Run(Config{Depth: depth, Micros: micros, Policy: schedule.Megatron1F1B,
+		res2, err := Run(Config{Depth: depth, Micros: micros, Policy: schedule.Megatron1F1B, CollectTrace: true,
 			Orders: o.Orders, Costs: UnitCosts(depth, unit), JitterCV: cv, Rand: rng})
 		return err == nil && check(res2)
 	}, cfg); err != nil {

@@ -1,24 +1,34 @@
 package simtime
 
-import "container/heap"
-
-// Event is a unit of work scheduled on the simulated clock. Events with
-// equal times fire in insertion order, which keeps simulations
-// deterministic regardless of heap internals.
-type Event struct {
-	At   Time
-	Fire func()
-
-	seq int64
-	idx int
+// event is one arena slot: a unit of work scheduled on the simulated
+// clock. Events with equal times fire in insertion order (seq), which
+// keeps simulations deterministic regardless of heap internals.
+//
+// An event carries either a plain closure (fire) or a pre-bound
+// callback plus two integer arguments (call, a, b). The second form
+// lets hot simulation loops schedule millions of events without
+// allocating: the caller binds a method value once and passes it for
+// every event, so only the 16 bytes of arguments travel through the
+// queue.
+type event struct {
+	at   Time
+	seq  int64
+	fire func()
+	call func(a, b int32)
+	a, b int32
 }
 
-// EventQueue is a priority queue of simulated events. The zero value is
-// ready to use.
+// EventQueue is a priority queue of simulated events, implemented as an
+// indexed binary heap over a reusable arena: the heap orders int32
+// slots rather than pointers, and popped slots are recycled through a
+// free list. After warm-up a schedule/fire cycle performs zero
+// allocations. The zero value is ready to use.
 type EventQueue struct {
-	h   eventHeap
-	seq int64
-	now Time
+	now   Time
+	seq   int64
+	arena []event
+	frees []int32 // recycled arena slots
+	heap  []int32 // arena indices ordered by (at, seq)
 }
 
 // Now reports the current simulated time: the timestamp of the most
@@ -28,11 +38,15 @@ func (q *EventQueue) Now() Time { return q.now }
 // Schedule enqueues fn to run at instant at. Scheduling in the past is
 // clamped to the current time (the event fires next).
 func (q *EventQueue) Schedule(at Time, fn func()) {
-	if at < q.now {
-		at = q.now
-	}
-	q.seq++
-	heap.Push(&q.h, &Event{At: at, Fire: fn, seq: q.seq})
+	q.push(at, fn, nil, 0, 0)
+}
+
+// ScheduleCall enqueues fn(a, b) at instant at. The func value is
+// stored as-is, not wrapped, so passing the same pre-bound method value
+// for every event keeps the scheduling path allocation-free. The same
+// past-clamping as Schedule applies.
+func (q *EventQueue) ScheduleCall(at Time, fn func(a, b int32), a, b int32) {
+	q.push(at, nil, fn, a, b)
 }
 
 // After enqueues fn to run d after the current simulated time.
@@ -41,25 +55,60 @@ func (q *EventQueue) After(d Duration, fn func()) {
 }
 
 // Len reports the number of pending events.
-func (q *EventQueue) Len() int { return q.h.Len() }
+func (q *EventQueue) Len() int { return len(q.heap) }
+
+func (q *EventQueue) push(at Time, fire func(), call func(a, b int32), a, b int32) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	var id int32
+	if n := len(q.frees); n > 0 {
+		id = q.frees[n-1]
+		q.frees = q.frees[:n-1]
+	} else {
+		q.arena = append(q.arena, event{})
+		id = int32(len(q.arena) - 1)
+	}
+	q.arena[id] = event{at: at, seq: q.seq, fire: fire, call: call, a: a, b: b}
+	q.heap = append(q.heap, id)
+	q.up(len(q.heap) - 1)
+}
 
 // Step fires the earliest pending event, advancing the clock. It
 // reports false when no events remain.
 func (q *EventQueue) Step() bool {
-	if q.h.Len() == 0 {
+	if len(q.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&q.h).(*Event)
-	q.now = ev.At
-	ev.Fire()
+	id := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	ev := &q.arena[id]
+	q.now = ev.at
+	fire, call, a, b := ev.fire, ev.call, ev.a, ev.b
+	// Drop the callback references and recycle the slot before firing:
+	// completed events must not pin captured state, and the callback is
+	// free to schedule into the slot it just vacated.
+	ev.fire, ev.call = nil, nil
+	q.frees = append(q.frees, id)
+	if call != nil {
+		call(a, b)
+	} else {
+		fire()
+	}
 	return true
 }
 
 // Run fires events until the queue drains or the clock passes horizon
 // (horizon <= 0 means no horizon). It returns the final simulated time.
 func (q *EventQueue) Run(horizon Time) Time {
-	for q.h.Len() > 0 {
-		if horizon > 0 && q.h[0].At > horizon {
+	for len(q.heap) > 0 {
+		if horizon > 0 && q.arena[q.heap[0]].at > horizon {
 			q.now = horizon
 			break
 		}
@@ -68,34 +117,64 @@ func (q *EventQueue) Run(horizon Time) Time {
 	return q.now
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// Reset returns the queue to its zero state while keeping the arena,
+// heap and free-list capacity, so a pooled simulation can run again
+// without reallocating. Pending events are discarded and their
+// callbacks released.
+func (q *EventQueue) Reset() {
+	for i := range q.arena {
+		q.arena[i].fire, q.arena[i].call = nil, nil
 	}
-	return h[i].seq < h[j].seq
+	q.arena = q.arena[:0]
+	q.frees = q.frees[:0]
+	q.heap = q.heap[:0]
+	q.seq = 0
+	q.now = 0
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+// less orders arena slots by time, then insertion sequence.
+func (q *EventQueue) less(x, y int32) bool {
+	ex, ey := &q.arena[x], &q.arena[y]
+	if ex.at != ey.at {
+		return ex.at < ey.at
+	}
+	return ex.seq < ey.seq
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+// up restores the heap property from leaf i toward the root.
+func (q *EventQueue) up(i int) {
+	h := q.heap
+	id := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = id
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// down restores the heap property from node i toward the leaves.
+func (q *EventQueue) down(i int) {
+	h := q.heap
+	n := len(h)
+	id := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(h[r], h[l]) {
+			c = r
+		}
+		if !q.less(h[c], id) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = id
 }

@@ -163,3 +163,116 @@ func TestSchedulePastClamped(t *testing.T) {
 		t.Fatalf("past event fired at %v, want clamp to 100", at)
 	}
 }
+
+func TestScheduleCallOrderingInterleaved(t *testing.T) {
+	// ScheduleCall and Schedule events at the same instant must share
+	// one FIFO sequence.
+	var q EventQueue
+	var got []int32
+	record := func(a, _ int32) { got = append(got, a) }
+	q.ScheduleCall(5, record, 0, 0)
+	q.Schedule(5, func() { got = append(got, 1) })
+	q.ScheduleCall(5, record, 2, 0)
+	q.Schedule(3, func() { got = append(got, -1) })
+	q.Run(0)
+	want := []int32{-1, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleCallArgs(t *testing.T) {
+	var q EventQueue
+	var gotA, gotB int32
+	q.ScheduleCall(7, func(a, b int32) { gotA, gotB = a, b }, 42, -9)
+	q.Run(0)
+	if gotA != 42 || gotB != -9 {
+		t.Fatalf("args (%d, %d), want (42, -9)", gotA, gotB)
+	}
+	if q.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", q.Now())
+	}
+}
+
+func TestEventQueueArenaRecycling(t *testing.T) {
+	// Slots must be recycled through the free list: a drain/refill cycle
+	// keeps the arena at its high-water mark instead of growing.
+	var q EventQueue
+	fired := 0
+	cb := func(a, b int32) { fired++ }
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 100; i++ {
+			q.ScheduleCall(q.Now().Add(Duration(i)), cb, 0, 0)
+		}
+		q.Run(0)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
+	}
+	if len(q.arena) > 100 {
+		t.Fatalf("arena grew to %d slots; free-list recycling broken", len(q.arena))
+	}
+}
+
+func TestEventQueueReset(t *testing.T) {
+	var q EventQueue
+	q.Schedule(100, func() { t.Fatal("discarded event fired") })
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Fatalf("Reset left len=%d now=%v", q.Len(), q.Now())
+	}
+	// The queue must be fully usable after Reset, with seq restarting so
+	// ordering stays deterministic.
+	var got []int
+	q.Schedule(5, func() { got = append(got, 1) })
+	q.Schedule(5, func() { got = append(got, 2) })
+	q.Run(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("post-Reset events fired as %v", got)
+	}
+}
+
+func TestEventQueueScheduleDuringFire(t *testing.T) {
+	// A callback scheduling into the slot it just vacated must not
+	// corrupt the queue.
+	var q EventQueue
+	var got []int32
+	var cb func(a, b int32)
+	cb = func(a, _ int32) {
+		got = append(got, a)
+		if a < 5 {
+			q.ScheduleCall(q.Now().Add(1), cb, a+1, 0)
+		}
+	}
+	q.ScheduleCall(0, cb, 0, 0)
+	q.Run(0)
+	if len(got) != 6 || got[5] != 5 {
+		t.Fatalf("cascade fired %v", got)
+	}
+}
+
+// BenchmarkEventQueue measures a schedule/drain cycle of 1024 events
+// through the indexed-heap arena. The ScheduleCall path must be
+// allocation-free after warm-up.
+func BenchmarkEventQueue(b *testing.B) {
+	var q EventQueue
+	n := 0
+	cb := func(a, _ int32) { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		for j := 0; j < 1024; j++ {
+			q.ScheduleCall(q.Now().Add(Duration(j%97)), cb, int32(j), 0)
+		}
+		q.Run(0)
+		if n != 1024 {
+			b.Fatal(n)
+		}
+	}
+}

@@ -269,6 +269,7 @@ func (tb *Testbed) measure(cfg JobConfig, runOne func(sim.Config) (sim.Result, e
 		ComputeJitterCV: 0.02, // GPU kernels are far steadier than the network
 		Rand:            tb.rng,
 		SpeedFactor:     speeds,
+		CollectTrace:    true, // Measurement.Trace feeds Gantt rendering
 	}
 	var res sim.Result
 	var err error
