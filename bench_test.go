@@ -52,6 +52,7 @@ func BenchmarkTable5GPipe(b *testing.B)           { runExperiment(b, "table5") }
 func BenchmarkTable6Pipelines(b *testing.B)       { runExperiment(b, "table6") }
 func BenchmarkTable7SimAccuracy(b *testing.B)     { runExperiment(b, "table7") }
 func BenchmarkSimulatorSpeed(b *testing.B)        { runExperiment(b, "simspeed") }
+func BenchmarkPlannerCaching(b *testing.B)        { runExperiment(b, "planner") }
 func BenchmarkFigure8Morphing(b *testing.B)       { runExperiment(b, "fig8") }
 func BenchmarkOneVsFourGPUVMs(b *testing.B)       { runExperiment(b, "vmsize") }
 func BenchmarkFigure9Convergence(b *testing.B)    { runExperiment(b, "fig9") }

@@ -1,0 +1,92 @@
+// Command varuna-benchdiff gates CI on the BENCH_*.json perf
+// trajectory: it compares the wall_ms of a fresh `varuna-bench -json`
+// run against the committed baseline reports and exits non-zero when
+// an experiment regressed past the tolerance, failed, or disappeared.
+//
+// Usage:
+//
+//	varuna-bench -parallel 0 -json /tmp/bench
+//	varuna-benchdiff -baseline bench/baseline -current /tmp/bench
+//
+// An experiment regresses when
+//
+//	current wall_ms > tolerance · baseline wall_ms + floor
+//
+// The multiplicative tolerance absorbs machine speed differences
+// between the machine that committed the baseline and the CI runner;
+// the additive floor keeps millisecond-scale experiments from tripping
+// on scheduler noise. Experiments without a baseline are listed as
+// "new" and pass — refresh the baseline directory to adopt them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline", "directory of committed BENCH_<id>.json reports")
+	current := flag.String("current", "", "directory of the fresh run's BENCH_<id>.json reports")
+	tolerance := flag.Float64("tolerance", 3.0, "multiplicative wall_ms slack vs baseline")
+	floor := flag.Float64("floor-ms", 250, "additive wall_ms slack vs baseline")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "varuna-benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := loadReports(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := loadReports(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	deltas, failures := experiments.DiffReports(base, cur, *tolerance, *floor)
+	fmt.Println(experiments.RenderDeltas(deltas))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "varuna-benchdiff: %d experiment(s) failed the gate (tolerance %.1fx + %.0fms)\n",
+			failures, *tolerance, *floor)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments within %.1fx + %.0fms of baseline\n", len(deltas), *tolerance, *floor)
+}
+
+// loadReports reads every BENCH_*.json in dir.
+func loadReports(dir string) ([]experiments.Report, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no BENCH_*.json reports in %s", dir)
+	}
+	sort.Strings(matches)
+	var out []experiments.Report
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r experiments.Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if r.ID == "" {
+			r.ID = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

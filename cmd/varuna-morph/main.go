@@ -67,4 +67,8 @@ func main() {
 		stats.MiniBatches, stats.Examples/1e6, stats.Morphs, stats.Replacements, stats.Preemptions, stats.StragglersExcluded)
 	fmt.Printf("%d checkpoints, %d mini-batches lost to rollbacks, %v downtime\n",
 		stats.Checkpoints, stats.LostMiniBatches, stats.Downtime)
+	ps := job.Planner().Stats()
+	fmt.Printf("planner: %d sweeps, decision memo %d/%d hits, cost cache %.0f%% hit rate (%d hits, %d misses, %d StageCosts builds, %d anchor sims)\n",
+		ps.Sweeps, ps.DecisionHits, ps.DecisionHits+ps.DecisionMisses,
+		100*ps.HitRate(), ps.CostHits, ps.CostMisses, ps.CostComputes, ps.SimAnchorRuns)
 }

@@ -41,7 +41,9 @@ type Inputs struct {
 	GPUsPerNode int
 }
 
-// Choice is one evaluated configuration.
+// Choice is one evaluated configuration — a point of the §4.4 sweep,
+// written the way the paper writes Table 3 rows (P×D with its
+// micro-batch choice and predicted mini-batch time).
 type Choice struct {
 	// P is pipeline depth, D data-parallel width.
 	P, D int
@@ -101,41 +103,106 @@ func interFlags(p, gpusPerNode int) []bool {
 	return flags
 }
 
-// costCache memoizes calibrate.Params.StageCosts results keyed on
-// (p, m, d) for the duration of one sweep. StageCosts is deterministic
-// in those three values (stages and boundary flags are functions of p),
-// so workers can safely share cached cost slices — the simulator never
-// mutates them. Note: today's candidate generation dedupes by p and
-// tries each m at most once per candidate, so within a single sweep
-// every key is distinct and the cache never hits — it is the seam for
-// widening the scope to a manager-lifetime cache across the repeated
-// sweeps of a morph timeline (see ROADMAP), where keys do recur.
+// costCache memoizes the per-candidate simulation inputs and outputs
+// keyed on (spec, p, m, d): the calibrate.Params.StageCosts slice and
+// the anchor-simulation makespan estimate at the Nm that GradAccum
+// derives for the key. Both are deterministic in the key (stages and
+// boundary flags are functions of p; the estimate runs the simulator
+// on mean parameters with no jitter), so workers can safely share
+// cached values — the simulator never mutates cost slices.
+//
+// Within a single sweep the candidate generation dedupes by p and
+// tries each m at most once per candidate, so every key is distinct
+// and the cache never hits; the payoff is cross-sweep. A Planner keeps
+// one costCache alive for the lifetime of a job, and the repeated
+// sweeps of a Figure-8 morphing timeline revisit the same keys
+// constantly: fleet sizes recur, and nearby fleet sizes share the
+// deepest feasible depths.
 type costCache struct {
 	mu sync.Mutex
-	m  map[costKey][]sim.StageCosts
+	m  map[costKey]*costEntry
+
+	hits, misses             atomic.Uint64
+	costComputes, simAnchors atomic.Uint64
 }
 
-type costKey struct{ p, m, d int }
+// costKey scopes entries to the model being planned for: a Planner
+// whose job switches specs (or a cache accidentally shared across
+// jobs) can never serve one model's partition costs to another.
+type costKey struct {
+	spec    *model.Spec
+	p, m, d int
+}
 
-func (c *costCache) stageCosts(in Inputs, stages []model.Stage, p, m, d int) ([]sim.StageCosts, error) {
+// costEntry is one cached computation. nm records the micro-batch
+// count the estimate was simulated at; a lookup with a different nm
+// (possible only if M_total changed without an invalidation) reuses
+// the costs but re-runs the estimate.
+type costEntry struct {
+	costs []sim.StageCosts
+	nm    int
+	est   simtime.Duration
+}
+
+func newCostCache(sizeHint int) *costCache {
+	return &costCache{m: make(map[costKey]*costEntry, sizeHint)}
+}
+
+// estimate returns the simulated mini-batch time for one fully
+// specified candidate, serving both the StageCosts assembly and the
+// anchor simulations from the cache when the key was seen before. A
+// nil receiver computes without caching (the Evaluate fast path).
+func (c *costCache) estimate(in Inputs, stages []model.Stage, p, m, d, nm int) (simtime.Duration, error) {
 	if c == nil {
-		return in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+		costs, err := in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+		if err != nil {
+			return 0, err
+		}
+		return sim.EstimateMakespan(sim.Config{
+			Depth:  p,
+			Micros: nm,
+			Policy: schedule.Varuna,
+			Costs:  costs,
+		})
 	}
-	key := costKey{p: p, m: m, d: d}
+	key := costKey{spec: in.Spec, p: p, m: m, d: d}
 	c.mu.Lock()
-	costs, ok := c.m[key]
+	e, ok := c.m[key]
 	c.mu.Unlock()
+	if ok && e.nm == nm {
+		c.hits.Add(1)
+		return e.est, nil
+	}
+	// Miss (or an Nm mismatch): compute what is missing outside the
+	// lock. Two workers racing on the same fresh key duplicate the
+	// work but store identical values, which keeps the hot path free
+	// of per-key latches.
+	c.misses.Add(1)
+	var costs []sim.StageCosts
 	if ok {
-		return costs, nil
+		costs = e.costs
+	} else {
+		var err error
+		costs, err = in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+		if err != nil {
+			return 0, err
+		}
+		c.costComputes.Add(1)
 	}
-	costs, err := in.Params.StageCosts(in.Spec, stages, m, d, interFlags(p, in.GPUsPerNode))
+	est, err := sim.EstimateMakespan(sim.Config{
+		Depth:  p,
+		Micros: nm,
+		Policy: schedule.Varuna,
+		Costs:  costs,
+	})
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
+	c.simAnchors.Add(1)
 	c.mu.Lock()
-	c.m[key] = costs
+	c.m[key] = &costEntry{costs: costs, nm: nm, est: est}
 	c.mu.Unlock()
-	return costs, nil
+	return est, nil
 }
 
 // Evaluate builds and simulates a single (P, D) candidate, choosing the
@@ -165,16 +232,7 @@ func evaluate(in Inputs, p, d int, cache *costCache) (Choice, error) {
 		if !fits(in, stages, m, nm, p) {
 			continue
 		}
-		costs, err := cache.stageCosts(in, stages, p, m, d)
-		if err != nil {
-			return Choice{}, err
-		}
-		est, err := sim.EstimateMakespan(sim.Config{
-			Depth:  p,
-			Micros: nm,
-			Policy: schedule.Varuna,
-			Costs:  costs,
-		})
+		est, err := cache.estimate(in, stages, p, m, d, nm)
 		if err != nil {
 			return Choice{}, err
 		}
@@ -251,12 +309,13 @@ func fits(in Inputs, stages []model.Stage, m, nm, p int) bool {
 // deterministic candidate order, so the output is bit-identical to a
 // serial sweep.
 func Sweep(in Inputs, g int) ([]Choice, error) {
-	return sweepWorkers(in, g, runtime.GOMAXPROCS(0))
+	return sweepWorkers(in, g, runtime.GOMAXPROCS(0), nil)
 }
 
-// sweepWorkers is Sweep with an explicit worker count; workers <= 1
-// evaluates serially. Tests compare the two paths for identity.
-func sweepWorkers(in Inputs, g, workers int) ([]Choice, error) {
+// sweepWorkers is Sweep with an explicit worker count and an optional
+// long-lived cache (nil builds a per-sweep one); workers <= 1
+// evaluates serially. Tests compare the paths for identity.
+func sweepWorkers(in Inputs, g, workers int, cache *costCache) ([]Choice, error) {
 	if g < 1 {
 		return nil, fmt.Errorf("autoconfig: no GPUs")
 	}
@@ -290,7 +349,9 @@ func sweepWorkers(in Inputs, g, workers int) ([]Choice, error) {
 
 	choices := make([]Choice, len(cands))
 	errs := make([]error, len(cands))
-	cache := &costCache{m: make(map[costKey][]sim.StageCosts, len(cands))}
+	if cache == nil {
+		cache = newCostCache(len(cands))
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
@@ -333,19 +394,26 @@ func sweepWorkers(in Inputs, g, workers int) ([]Choice, error) {
 	return out, nil
 }
 
-// Best picks the highest-total-throughput configuration for g GPUs.
+// Best picks the highest-total-throughput configuration for g GPUs —
+// the decision rule the §4.6 manager applies after every fleet change.
 func Best(in Inputs, g int) (Choice, error) {
-	sweep, err := Sweep(in, g)
+	return best(g, func(g int) ([]Choice, error) { return Sweep(in, g) })
+}
+
+// best reduces a sweep to its top-throughput choice; the sweep
+// function seam lets Planner.Best route through the lifetime caches.
+func best(g int, sweep func(int) ([]Choice, error)) (Choice, error) {
+	out, err := sweep(g)
 	if err != nil {
 		return Choice{}, err
 	}
-	best := sweep[0]
-	for _, c := range sweep[1:] {
-		if c.TotalExPerSec() > best.TotalExPerSec() {
-			best = c
+	top := out[0]
+	for _, c := range out[1:] {
+		if c.TotalExPerSec() > top.TotalExPerSec() {
+			top = c
 		}
 	}
-	return best, nil
+	return top, nil
 }
 
 func humanBytes(n int64) string {

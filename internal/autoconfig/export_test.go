@@ -2,4 +2,6 @@ package autoconfig
 
 // SweepWorkers exposes the worker-count knob so tests can compare the
 // parallel sweep against a serial reference for bit-identical output.
-var SweepWorkers = sweepWorkers
+func SweepWorkers(in Inputs, g, workers int) ([]Choice, error) {
+	return sweepWorkers(in, g, workers, nil)
+}

@@ -1,0 +1,221 @@
+package autoconfig
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestPlannerSecondSweepGolden is the acceptance test for the
+// cross-sweep cache: a second sweep of the same fleet must return
+// Choices bit-identical to the first — and to the stateless Sweep —
+// while performing zero StageCosts assemblies and zero anchor
+// simulations.
+func TestPlannerSecondSweepGolden(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+
+	stateless, err := Sweep(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pl.Sweep(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stateless, first) {
+		t.Fatalf("planner sweep diverged from stateless sweep\nstateless: %+v\nplanner:   %+v", stateless, first)
+	}
+	s1 := pl.Stats()
+	if s1.CostMisses == 0 || s1.CostComputes == 0 || s1.SimAnchorRuns == 0 {
+		t.Fatalf("cold sweep must compute: %+v", s1)
+	}
+	if s1.CostHits != 0 {
+		t.Fatalf("cold sweep cannot hit, got %d hits", s1.CostHits)
+	}
+
+	second, err := pl.Sweep(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("second sweep diverged\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	s2 := pl.Stats()
+	if s2.CostComputes != s1.CostComputes {
+		t.Fatalf("second sweep recomputed StageCosts: %d → %d", s1.CostComputes, s2.CostComputes)
+	}
+	if s2.SimAnchorRuns != s1.SimAnchorRuns {
+		t.Fatalf("second sweep re-ran anchor simulations: %d → %d", s1.SimAnchorRuns, s2.SimAnchorRuns)
+	}
+	if s2.CostHits == 0 {
+		t.Fatal("second sweep must be served from the cache")
+	}
+	if s2.HitRate() <= 0 || s2.HitRate() >= 1 {
+		t.Fatalf("hit rate %.2f outside (0,1) after one cold + one warm sweep", s2.HitRate())
+	}
+}
+
+// TestPlannerSweepsShareAcrossFleetSizes checks the morphing-timeline
+// payoff: sweeps at different (but overlapping) fleet sizes share
+// candidates, so later sweeps hit keys the earlier ones populated.
+func TestPlannerSweepsShareAcrossFleetSizes(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	for _, g := range []int{100, 100, 96, 100, 96} {
+		want, err := Sweep(in, g)
+		if err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		got, err := pl.Sweep(g)
+		if err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("G=%d: planner sweep diverged from stateless sweep", g)
+		}
+	}
+	s := pl.Stats()
+	if s.CostHits == 0 {
+		t.Fatalf("repeated fleet sizes must hit the cache: %+v", s)
+	}
+	// Unique work is bounded by the number of distinct keys, not the
+	// number of sweeps: the two fleet sizes were each swept at least
+	// twice, so under half of all lookups may have computed anything.
+	if s.CostMisses >= s.CostHits {
+		t.Fatalf("misses %d should be the minority across repeated sweeps (hits %d)", s.CostMisses, s.CostHits)
+	}
+}
+
+// TestPlannerBestMemoized pins the decision memo: a revisited fleet
+// size replays the stored choice without another sweep.
+func TestPlannerBestMemoized(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	want, err := Best(in, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pl.Best(72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepsAfterFirst := pl.Stats().Sweeps
+	b, err := pl.Best(72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, a) || !reflect.DeepEqual(a, b) {
+		t.Fatalf("memoized Best diverged: stateless %+v, first %+v, second %+v", want, a, b)
+	}
+	s := pl.Stats()
+	if s.Sweeps != sweepsAfterFirst {
+		t.Fatalf("second Best swept again: %d → %d sweeps", sweepsAfterFirst, s.Sweeps)
+	}
+	if s.DecisionHits != 1 || s.DecisionMisses != 1 {
+		t.Fatalf("decision memo counters off: %+v", s)
+	}
+
+	// Sticky infeasibility: a fleet too small for the model fails the
+	// same way from the memo.
+	if _, err := pl.Best(2); err == nil {
+		t.Fatal("2 GPUs cannot fit 2.5B")
+	}
+	if _, err := pl.Best(2); err == nil {
+		t.Fatal("memoized infeasibility must still fail")
+	}
+}
+
+// TestPlannerInvalidatesOnSpecChange is the cache-invalidation test:
+// repointing the Planner at a different job drops every cached cost
+// and decision, and the next sweep recomputes from scratch —
+// identical to a cold Planner for the new spec.
+func TestPlannerInvalidatesOnSpecChange(t *testing.T) {
+	inA := inputsFor(t, model.GPT2XL2B(), 53)
+	inB := inputsFor(t, model.GPT2Megatron8B(), 71)
+	pl := NewPlanner(inA)
+	if _, err := pl.Sweep(100); err != nil {
+		t.Fatal(err)
+	}
+	if warm := pl.Stats(); warm.CostComputes == 0 {
+		t.Fatalf("warm-up sweep computed nothing: %+v", warm)
+	}
+
+	pl.SetInputs(inB)
+	if got := pl.Stats(); got.Invalidations != 1 {
+		t.Fatalf("spec change must invalidate, stats %+v", got)
+	}
+	got, err := pl.Sweep(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Sweep(inB, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-invalidation sweep diverged from a cold sweep of the new spec")
+	}
+	s := pl.Stats()
+	if s.CostComputes == 0 || s.CostMisses == 0 {
+		t.Fatalf("post-invalidation sweep must recompute: %+v", s)
+	}
+	if s.CostHits != 0 {
+		t.Fatalf("invalidated cache cannot hit (counters reset with it): %+v", s)
+	}
+
+	// Re-setting identical inputs must NOT invalidate.
+	pl.SetInputs(inB)
+	if got := pl.Stats(); got.Invalidations != 1 {
+		t.Fatalf("identical inputs must not invalidate, stats %+v", got)
+	}
+
+	// Changing only the cut-points (same spec) MUST invalidate: cached
+	// stages — and hence costs and estimates — depend on the cuts.
+	rec := inB
+	rec.Cuts = append([]model.CutPoint(nil), inB.Cuts[:len(inB.Cuts)-1]...)
+	pl.SetInputs(rec)
+	if got := pl.Stats(); got.Invalidations != 2 {
+		t.Fatalf("cut-point change must invalidate, stats %+v", got)
+	}
+}
+
+// BenchmarkPlannerRepeatSweep measures the acceptance scenario: two
+// consecutive G=128 sweeps of the 8.3B model through one Planner. Each
+// iteration builds a cold Planner, pays the full first sweep, then
+// times how much the cached second sweep costs on top — the reported
+// per-op time is one cold plus one warm sweep, to be read against
+// BenchmarkSweepParallel (one cold sweep alone).
+func BenchmarkPlannerRepeatSweep(b *testing.B) {
+	in := benchInputs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := NewPlanner(in)
+		if _, err := pl.Sweep(128); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pl.Sweep(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerWarmSweep isolates the warm path: every iteration is
+// a fully cached G=128 sweep (the first, cold sweep happens before the
+// timer starts).
+func BenchmarkPlannerWarmSweep(b *testing.B) {
+	in := benchInputs(b)
+	pl := NewPlanner(in)
+	if _, err := pl.Sweep(128); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Sweep(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,7 +54,7 @@ func BenchmarkSweepSerial(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweepWorkers(in, 128, 1); err != nil {
+		if _, err := sweepWorkers(in, 128, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,10 +34,11 @@ type Job struct {
 	// MTotal is the global mini-batch size, fixed for the job's life.
 	MTotal int
 
-	tb     *testbed.Testbed
-	cuts   []model.CutPoint
-	params *calibrate.Params
-	in     autoconfig.Inputs
+	tb      *testbed.Testbed
+	cuts    []model.CutPoint
+	params  *calibrate.Params
+	in      autoconfig.Inputs
+	planner *autoconfig.Planner
 }
 
 // NewJob profiles the model on the cluster and prepares it for
@@ -75,6 +76,7 @@ func NewJob(spec *model.Spec, cluster hw.Cluster, mTotal int, seed int64) (*Job,
 		MTotal:      mTotal,
 		GPUsPerNode: cluster.VM.GPUs,
 	}
+	j.planner = autoconfig.NewPlanner(j.in)
 	return j, nil
 }
 
@@ -91,20 +93,28 @@ func (j *Job) CutPoints() []model.CutPoint { return j.cuts }
 // Inputs exposes the morphing inputs (for the manager).
 func (j *Job) Inputs() autoconfig.Inputs { return j.in }
 
+// Planner exposes the job-lifetime morph planner: every configuration
+// decision made through this Job shares its caches, so repeated
+// sweeps across a morphing timeline only pay partition costs once per
+// unique (P, m, D) candidate.
+func (j *Job) Planner() *autoconfig.Planner { return j.planner }
+
 // BestConfig picks the fastest (P, D, m, Nm) for g GPUs via the
-// simulator sweep (§4.4).
+// simulator sweep (§4.4), memoized per fleet size by the planner.
 func (j *Job) BestConfig(g int) (autoconfig.Choice, error) {
-	return autoconfig.Best(j.in, g)
+	return j.planner.Best(g)
 }
 
-// Sweep evaluates every feasible pipeline depth for g GPUs.
+// Sweep evaluates every feasible pipeline depth for g GPUs through the
+// planner's lifetime cache.
 func (j *Job) Sweep(g int) ([]autoconfig.Choice, error) {
-	return autoconfig.Sweep(j.in, g)
+	return j.planner.Sweep(g)
 }
 
-// Configure evaluates one explicit P×D shape.
+// Configure evaluates one explicit P×D shape through the planner's
+// lifetime cache.
 func (j *Job) Configure(p, d int) (autoconfig.Choice, error) {
-	return autoconfig.Evaluate(j.in, p, d)
+	return j.planner.Evaluate(p, d)
 }
 
 // Estimate predicts the mini-batch time of a configuration with the
@@ -141,9 +151,11 @@ func (j *Job) jobConfig(c autoconfig.Choice) testbed.JobConfig {
 
 // RunOnSpotMarket drives the job through a spot-market trace with the
 // Varuna manager: morphing on fleet changes, checkpoint rollbacks on
-// preemption, straggler exclusion (§4.6, Figure 8).
+// preemption, straggler exclusion (§4.6, Figure 8). The manager plans
+// with the job's lifetime Planner, so morph decisions stay cached
+// across repeated runs on the same Job.
 func (j *Job) RunOnSpotMarket(mk *spot.Market, targetGPUs int, horizon simtime.Duration, seed int64) ([]manager.TimelinePoint, manager.Stats, error) {
 	events := spot.EventTrace(mk, targetGPUs, horizon, 10*simtime.Minute)
-	mg := manager.New(j.in, j.tb, manager.DefaultOptions(), seed)
+	mg := manager.NewWithPlanner(j.in, j.tb, j.planner, manager.DefaultOptions(), seed)
 	return mg.RunTimeline(events, horizon)
 }

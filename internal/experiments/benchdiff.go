@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BenchDelta is one experiment's comparison between a committed
+// baseline BENCH_<id>.json report and the current run.
+type BenchDelta struct {
+	ID string
+	// BaseMS and CurMS are the two wall-clock times; Ratio is
+	// CurMS/BaseMS (0 when the baseline is missing).
+	BaseMS, CurMS float64
+	Ratio         float64
+	// Status classifies the delta: "ok", "regression" (current run
+	// slower than the tolerance allows), "failed" (current run has
+	// ok=false), "missing" (present in the baseline, absent from the
+	// current run) or "new" (no baseline yet — informational only).
+	Status string
+}
+
+// Failed reports whether this delta should fail a CI gate.
+func (d BenchDelta) Failed() bool {
+	return d.Status == "regression" || d.Status == "failed" || d.Status == "missing"
+}
+
+// DiffReports compares a current set of timing reports against a
+// committed baseline — the CI regression gate over the BENCH_*.json
+// perf trajectory. An experiment regresses when
+//
+//	cur.wall_ms > tolerance·base.wall_ms + floorMS
+//
+// The multiplicative tolerance absorbs machine-to-machine speed
+// differences; the additive floor keeps sub-millisecond experiments
+// from tripping the gate on scheduling noise. Experiments present only
+// in the current run are reported as "new" and never fail (committing
+// the refreshed baseline adopts them). Deltas come back sorted by id;
+// failures counts the gate-failing ones.
+func DiffReports(base, cur []Report, tolerance, floorMS float64) (deltas []BenchDelta, failures int) {
+	curByID := make(map[string]Report, len(cur))
+	for _, r := range cur {
+		curByID[r.ID] = r
+	}
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.ID] = true
+		d := BenchDelta{ID: b.ID, BaseMS: b.WallMS}
+		c, ok := curByID[b.ID]
+		switch {
+		case !ok:
+			d.Status = "missing"
+		case !c.OK:
+			d.Status = "failed"
+			d.CurMS = c.WallMS
+		default:
+			d.CurMS = c.WallMS
+			if b.WallMS > 0 {
+				d.Ratio = c.WallMS / b.WallMS
+			}
+			d.Status = "ok"
+			if c.WallMS > tolerance*b.WallMS+floorMS {
+				d.Status = "regression"
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	for _, c := range cur {
+		if seen[c.ID] {
+			continue
+		}
+		d := BenchDelta{ID: c.ID, CurMS: c.WallMS, Status: "new"}
+		if !c.OK {
+			d.Status = "failed"
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].ID < deltas[j].ID })
+	for _, d := range deltas {
+		if d.Failed() {
+			failures++
+		}
+	}
+	return deltas, failures
+}
+
+// RenderDeltas formats a diff as an aligned text table.
+func RenderDeltas(deltas []BenchDelta) string {
+	t := &Table{
+		Title:  "BENCH wall_ms diff vs baseline",
+		Header: []string{"Experiment", "Base ms", "Current ms", "Ratio", "Status"},
+	}
+	for _, d := range deltas {
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", d.Ratio)
+		}
+		t.Add(d.ID, f1(d.BaseMS), f1(d.CurMS), ratio, d.Status)
+	}
+	return strings.TrimRight(t.String(), "\n")
+}

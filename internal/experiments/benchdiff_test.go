@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffReports(t *testing.T) {
+	base := []Report{
+		{ID: "a", WallMS: 100, OK: true},
+		{ID: "b", WallMS: 100, OK: true},
+		{ID: "c", WallMS: 1, OK: true},
+		{ID: "gone", WallMS: 50, OK: true},
+	}
+	cur := []Report{
+		{ID: "a", WallMS: 120, OK: true},   // within tolerance
+		{ID: "b", WallMS: 1000, OK: true},  // regression (2x+250 < 1000)
+		{ID: "c", WallMS: 200, OK: true},   // 200x but under the floor
+		{ID: "fresh", WallMS: 5, OK: true}, // new, informational
+		{ID: "broken", OK: false},          // failed run
+	}
+	deltas, failures := DiffReports(base, cur, 2.0, 250)
+	byID := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byID[d.ID] = d
+	}
+	want := map[string]string{
+		"a": "ok", "b": "regression", "c": "ok",
+		"gone": "missing", "fresh": "new", "broken": "failed",
+	}
+	for id, status := range want {
+		if byID[id].Status != status {
+			t.Errorf("%s: status %q, want %q", id, byID[id].Status, status)
+		}
+	}
+	if failures != 3 { // b, gone, broken
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	if r := byID["a"].Ratio; r < 1.19 || r > 1.21 {
+		t.Fatalf("ratio %v, want 1.2", r)
+	}
+
+	out := RenderDeltas(deltas)
+	for _, frag := range []string{"regression", "missing", "1.20x"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDiffReportsAllClean(t *testing.T) {
+	base := []Report{{ID: "x", WallMS: 10, OK: true}}
+	cur := []Report{{ID: "x", WallMS: 12, OK: true}}
+	deltas, failures := DiffReports(base, cur, 3.0, 250)
+	if failures != 0 || len(deltas) != 1 || deltas[0].Status != "ok" {
+		t.Fatalf("clean diff misreported: %+v failures=%d", deltas, failures)
+	}
+}

@@ -195,3 +195,28 @@ func TestFig5Ratio(t *testing.T) {
 		}
 	}
 }
+
+func TestPlannerCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep experiment")
+	}
+	tb, err := PlannerCaching(testCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached sweep must rebuild nothing.
+	if tb.Rows[1][3] != "0" || tb.Rows[1][4] != "0" {
+		t.Fatalf("cached sweep recomputed: %v", tb.Rows[1])
+	}
+	if !strings.Contains(strings.Join(tb.Notes, "\n"), "bit-identical to first: true") {
+		t.Fatalf("cached sweep not bit-identical:\n%v", tb.Notes)
+	}
+	// Wall-clock acceptance: the cached sweep must be at least 2x
+	// faster (in practice it is orders of magnitude; 2x keeps the
+	// assertion robust on loaded CI machines).
+	cold := cell(t, tb.Rows[0][1])
+	warm := cell(t, tb.Rows[1][1])
+	if warm*2 > cold {
+		t.Fatalf("cached sweep %.1fms not 2x faster than cold %.1fms", warm, cold)
+	}
+}

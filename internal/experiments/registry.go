@@ -26,6 +26,7 @@ func All() []Entry {
 		{ID: "table6", Paper: "Table 6 (pipeline systems)", Run: Table6Pipelines},
 		{ID: "table7", Paper: "Table 7 (simulator accuracy)", Run: Table7SimAccuracy},
 		{ID: "simspeed", Paper: "§7.2 (simulator runtime)", Run: SimulatorSpeed},
+		{ID: "planner", Paper: "§7.2 (morph decision caching)", Run: PlannerCaching},
 		{ID: "fig8", Paper: "Figure 8 (60h morphing)", Run: Fig8Morphing},
 		{ID: "vmsize", Paper: "§7.2 (1-GPU vs 4-GPU VMs)", Run: OneVsFourGPUVMs},
 		{ID: "fig9", Paper: "Figure 9 (convergence)", Run: Fig9Convergence},

@@ -17,7 +17,8 @@ import (
 	"repro/internal/testbed"
 )
 
-// Options tunes the manager.
+// Options tunes the §4.6 manager: checkpoint cadence, reconfiguration
+// overhead and the fail-stutter detection threshold.
 type Options struct {
 	// CheckpointEvery is the checkpoint cadence in mini-batches.
 	CheckpointEvery int
@@ -79,7 +80,9 @@ type TimelinePoint struct {
 	Event string
 }
 
-// Stats summarizes a timeline run.
+// Stats summarizes a timeline run — the aggregate counters behind the
+// Figure 8 narrative (morphs vs replacements, preemptions, rollback
+// losses, downtime).
 type Stats struct {
 	// Examples is the total training examples processed.
 	Examples float64
@@ -101,18 +104,33 @@ type Stats struct {
 }
 
 // Manager replays a spot-market event trace against a testbed-backed
-// job, morphing as the fleet changes.
+// job, morphing as the fleet changes (§4.6, Figure 8).
 type Manager struct {
-	In   autoconfig.Inputs
-	TB   *testbed.Testbed
+	// In is the morphing input set (spec, cut-points, calibration).
+	In autoconfig.Inputs
+	// TB is the ground-truth cluster that measures each segment.
+	TB *testbed.Testbed
+	// Opts tunes checkpoint cadence, morph overhead and straggler
+	// detection.
 	Opts Options
+	// Plan owns the morph decisions and their lifetime caches: the
+	// (spec, p, m, d) cost cache and the per-fleet-size decision memo
+	// that make repeated sweeps across the Figure-8 timeline cheap.
+	Plan *autoconfig.Planner
 
 	rng *simtime.Rand
 }
 
-// New builds a manager.
+// New builds a manager with its own Planner for in.
 func New(in autoconfig.Inputs, tb *testbed.Testbed, opts Options, seed int64) *Manager {
-	return &Manager{In: in, TB: tb, Opts: opts, rng: simtime.NewRand(seed)}
+	return NewWithPlanner(in, tb, autoconfig.NewPlanner(in), opts, seed)
+}
+
+// NewWithPlanner builds a manager that plans through an existing
+// Planner. Callers that keep a job-lifetime Planner (core.Job) pass it
+// here so cache state survives across timeline replays.
+func NewWithPlanner(in autoconfig.Inputs, tb *testbed.Testbed, plan *autoconfig.Planner, opts Options, seed int64) *Manager {
+	return &Manager{In: in, TB: tb, Opts: opts, Plan: plan, rng: simtime.NewRand(seed)}
 }
 
 // vmInfo tracks one live VM.
@@ -122,192 +140,228 @@ type vmInfo struct {
 	slow  bool    // flagged by the manager
 }
 
+// timelineRun is the state of one RunTimeline replay. The control
+// plane runs as an event loop on the simulated clock, like every
+// other time-driven component in the system: each step applies the
+// spot events due now, morphs or trains, and schedules its own
+// continuation through the event queue's ScheduleCall path (the step
+// callback is bound once per run, so the loop adds no per-step
+// closures).
+type timelineRun struct {
+	mg     *Manager
+	events []spot.Event
+	hz     simtime.Time
+	q      simtime.EventQueue
+	onStep func(a, b int32)
+
+	points  []TimelinePoint
+	stats   Stats
+	live    map[int]*vmInfo
+	now     simtime.Time
+	evIdx   int
+	current autoconfig.Choice
+	running bool
+	// sinceCkpt counts mini-batches since the last checkpoint (lost
+	// on preemption).
+	sinceCkpt int
+	mbTime    simtime.Duration
+	// Morph decisions are memoized by the Planner; the measured
+	// mini-batch time per executed configuration is cached here (one
+	// testbed measurement characterizes a stable segment).
+	mbCache map[[2]int]simtime.Duration
+	exCache map[[2]int]float64
+}
+
+// usableGPUs sums the fleet, excluding flagged stragglers.
+func (r *timelineRun) usableGPUs() int {
+	g := 0
+	for _, vm := range r.live {
+		if !vm.slow {
+			g += vm.gpus
+		}
+	}
+	return g
+}
+
+// flagStragglers runs the fail-stutter detector over simulated
+// compute heartbeats.
+func (r *timelineRun) flagStragglers() {
+	hb := make(map[int]float64, len(r.live))
+	for id, vm := range r.live {
+		if vm.slow {
+			continue
+		}
+		hb[id] = vm.speed * (1 + 0.02*r.mg.rng.NormFloat64())
+	}
+	for _, id := range DetectStragglers(hb, r.mg.Opts.StragglerThreshold) {
+		r.live[id].slow = true
+		r.stats.StragglersExcluded++
+	}
+}
+
+// morph reconfigures to the current usable fleet. Fleet sizes are
+// quantized (rounded down, ~2% steps) before the sweep: a one-GPU
+// delta never changes the best configuration materially, and
+// quantization keeps the Planner's decision memo hot across the
+// constant single-VM churn of a spot fleet.
+func (r *timelineRun) morph(label string) {
+	r.flagStragglers()
+	g := r.usableGPUs()
+	if q := g / 50; q > 0 {
+		g -= g % (q + 1)
+	}
+	r.stats.Downtime += r.mg.Opts.MorphOverhead
+	r.now = r.now.Add(r.mg.Opts.MorphOverhead)
+	choice, err := r.mg.Plan.Best(g)
+	if err != nil {
+		r.running = false
+		r.points = append(r.points, TimelinePoint{At: r.now, GPUs: g, Event: "down"})
+		return
+	}
+	if r.running && choice.P == r.current.P && choice.D == r.current.D {
+		label = "p" // replacement, no config change (Figure 8)
+		r.stats.Replacements++
+	} else {
+		r.stats.Morphs++
+	}
+	r.current = choice
+	r.running = true
+	// One measured mini-batch characterizes the segment. The manager
+	// only reads summary metrics, so the measurement skips trace
+	// collection.
+	key := [2]int{choice.P, choice.D}
+	if _, ok := r.mbCache[key]; !ok {
+		ms, err := r.mg.TB.MeasureMiniBatch(testbed.JobConfig{
+			Spec:    r.mg.In.Spec,
+			Stages:  choice.Stages,
+			M:       choice.M,
+			Nm:      choice.Nm,
+			D:       choice.D,
+			NoTrace: true,
+		})
+		if err != nil {
+			r.running = false
+			return
+		}
+		r.mbCache[key] = ms.MiniBatchTime
+		r.exCache[key] = ms.ExPerSec()
+	}
+	r.mbTime = r.mbCache[key]
+	r.points = append(r.points, TimelinePoint{
+		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCache[key], Event: label,
+	})
+}
+
+// applyEvent mutates the fleet for one spot event; it reports whether
+// the event was a preemption (which forces a checkpoint rollback).
+func (r *timelineRun) applyEvent(e spot.Event) bool {
+	switch e.Kind {
+	case spot.Alloc:
+		speed := 1.0
+		if r.mg.rng.Float64() < 0.05 { // ~1 in 20 VMs fail-stutters
+			speed = 1.25 + 0.15*r.mg.rng.Float64()
+		}
+		r.live[e.VM] = &vmInfo{gpus: e.GPUs, speed: speed}
+		r.stats.Allocations++
+		return false
+	case spot.Preempt:
+		delete(r.live, e.VM)
+		r.stats.Preemptions++
+		return true
+	}
+	return false
+}
+
+// reschedule queues the next step at the run's current clock; past the
+// horizon the loop simply stops scheduling and the queue drains.
+func (r *timelineRun) reschedule() {
+	if r.now < r.hz {
+		r.q.ScheduleCall(r.now, r.onStep, 0, 0)
+	}
+}
+
+// step is one iteration of the manager's control loop: apply all spot
+// events due now (batching simultaneous arrivals into one morph), roll
+// back on preemption, morph when the fleet changed, otherwise train
+// until the next event or the horizon.
+func (r *timelineRun) step(int32, int32) {
+	fleetChanged := false
+	preempted := false
+	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
+		pre := r.applyEvent(r.events[r.evIdx])
+		preempted = preempted || pre
+		fleetChanged = true
+		r.evIdx++
+	}
+	if preempted && r.running {
+		// Roll back to the last checkpoint.
+		r.stats.LostMiniBatches += r.sinceCkpt
+		r.stats.Examples -= float64(r.sinceCkpt * r.current.Examples)
+		r.stats.MiniBatches -= r.sinceCkpt
+		r.sinceCkpt = 0
+	}
+	if fleetChanged || !r.running {
+		r.morph("morph")
+		if !r.running {
+			// Nothing usable: fast-forward to the next event.
+			if r.evIdx < len(r.events) {
+				r.now = simtime.Max(r.now, r.events[r.evIdx].At)
+				r.reschedule()
+			}
+			return
+		}
+		r.reschedule()
+		return
+	}
+
+	// Train until the next event or horizon.
+	next := r.hz
+	if r.evIdx < len(r.events) && r.events[r.evIdx].At < next {
+		next = r.events[r.evIdx].At
+	}
+	for r.now < next {
+		r.now = r.now.Add(r.mbTime)
+		r.stats.MiniBatches++
+		r.stats.Examples += float64(r.current.Examples)
+		r.sinceCkpt++
+		if r.sinceCkpt >= r.mg.Opts.CheckpointEvery {
+			r.now = r.now.Add(r.mg.Opts.CheckpointOverhead)
+			r.stats.Downtime += r.mg.Opts.CheckpointOverhead
+			r.stats.Checkpoints++
+			r.sinceCkpt = 0
+			r.points = append(r.points, TimelinePoint{
+				At: r.now, GPUs: r.usableGPUs(), Config: r.current,
+				ExPerSec: float64(r.current.Examples) / r.mbTime.Seconds(),
+				Event:    "checkpoint",
+			})
+		}
+	}
+	r.reschedule()
+}
+
 // RunTimeline replays events until horizon and returns the timeline and
 // statistics. Fleet changes trigger morphing; a preemption additionally
 // rolls the job back to the last checkpoint. Throughput within a stable
-// segment is measured once on the testbed and reused.
+// segment is measured once on the testbed and reused; morph decisions
+// come from the manager's Planner, whose caches persist across the
+// whole timeline (and across timelines, if the caller shares one
+// Planner between runs).
 func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([]TimelinePoint, Stats, error) {
-	var (
-		points  []TimelinePoint
-		stats   Stats
-		live    = make(map[int]*vmInfo)
-		now     simtime.Time
-		evIdx   int
-		current autoconfig.Choice
-		running bool
-		// mini-batches since last checkpoint (lost on preemption)
-		sinceCkpt int
-		mbTime    simtime.Duration
-		// Spot fleets revisit the same sizes constantly; cache the
-		// morph decision per usable-GPU count and the measured
-		// mini-batch time per configuration.
-		choiceCache = make(map[int]autoconfig.Choice)
-		choiceFail  = make(map[int]bool)
-		mbCache     = make(map[[2]int]simtime.Duration)
-		exCache     = make(map[[2]int]float64)
-	)
-
-	usableGPUs := func() int {
-		g := 0
-		for _, vm := range live {
-			if !vm.slow {
-				g += vm.gpus
-			}
-		}
-		return g
+	r := &timelineRun{
+		mg:      mg,
+		events:  events,
+		hz:      simtime.Time(horizon),
+		live:    make(map[int]*vmInfo),
+		mbCache: make(map[[2]int]simtime.Duration),
+		exCache: make(map[[2]int]float64),
 	}
-
-	// flagStragglers runs the fail-stutter detector over simulated
-	// compute heartbeats.
-	flagStragglers := func() {
-		hb := make(map[int]float64, len(live))
-		for id, vm := range live {
-			if vm.slow {
-				continue
-			}
-			hb[id] = vm.speed * (1 + 0.02*mg.rng.NormFloat64())
-		}
-		for _, id := range DetectStragglers(hb, mg.Opts.StragglerThreshold) {
-			live[id].slow = true
-			stats.StragglersExcluded++
-		}
+	r.onStep = r.step
+	r.reschedule()
+	r.q.Run(0)
+	if r.stats.Examples < 0 {
+		r.stats.Examples = 0
 	}
-
-	// morph reconfigures to the current usable fleet. Fleet sizes are
-	// quantized (rounded down, ~2% steps) before the sweep: a one-GPU
-	// delta never changes the best configuration materially, and
-	// quantization keeps the decision cache hot across the constant
-	// single-VM churn of a spot fleet.
-	morph := func(label string) {
-		flagStragglers()
-		g := usableGPUs()
-		if q := g / 50; q > 0 {
-			g -= g % (q + 1)
-		}
-		stats.Downtime += mg.Opts.MorphOverhead
-		now = now.Add(mg.Opts.MorphOverhead)
-		choice, ok := choiceCache[g]
-		if !ok && !choiceFail[g] {
-			var err error
-			choice, err = autoconfig.Best(mg.In, g)
-			if err != nil {
-				choiceFail[g] = true
-			} else {
-				choiceCache[g] = choice
-			}
-		}
-		if choiceFail[g] {
-			running = false
-			points = append(points, TimelinePoint{At: now, GPUs: g, Event: "down"})
-			return
-		}
-		if running && choice.P == current.P && choice.D == current.D {
-			label = "p" // replacement, no config change (Figure 8)
-			stats.Replacements++
-		} else {
-			stats.Morphs++
-		}
-		current = choice
-		running = true
-		// One measured mini-batch characterizes the segment.
-		key := [2]int{choice.P, choice.D}
-		if _, ok := mbCache[key]; !ok {
-			ms, err := mg.TB.MeasureMiniBatch(testbed.JobConfig{
-				Spec:   mg.In.Spec,
-				Stages: choice.Stages,
-				M:      choice.M,
-				Nm:     choice.Nm,
-				D:      choice.D,
-			})
-			if err != nil {
-				running = false
-				return
-			}
-			mbCache[key] = ms.MiniBatchTime
-			exCache[key] = ms.ExPerSec()
-		}
-		mbTime = mbCache[key]
-		points = append(points, TimelinePoint{
-			At: now, GPUs: g, Config: choice, ExPerSec: exCache[key], Event: label,
-		})
-	}
-
-	applyEvent := func(e spot.Event) bool {
-		switch e.Kind {
-		case spot.Alloc:
-			speed := 1.0
-			if mg.rng.Float64() < 0.05 { // ~1 in 20 VMs fail-stutters
-				speed = 1.25 + 0.15*mg.rng.Float64()
-			}
-			live[e.VM] = &vmInfo{gpus: e.GPUs, speed: speed}
-			stats.Allocations++
-			return false
-		case spot.Preempt:
-			delete(live, e.VM)
-			stats.Preemptions++
-			return true
-		}
-		return false
-	}
-
-	hz := simtime.Time(horizon)
-	for now < hz {
-		// Apply all events due now; batch arrivals into one morph.
-		fleetChanged := false
-		preempted := false
-		for evIdx < len(events) && events[evIdx].At <= now {
-			pre := applyEvent(events[evIdx])
-			preempted = preempted || pre
-			fleetChanged = true
-			evIdx++
-		}
-		if preempted && running {
-			// Roll back to the last checkpoint.
-			stats.LostMiniBatches += sinceCkpt
-			stats.Examples -= float64(sinceCkpt * current.Examples)
-			stats.MiniBatches -= sinceCkpt
-			sinceCkpt = 0
-		}
-		if fleetChanged || !running {
-			morph("morph")
-			if !running {
-				// Nothing usable: fast-forward to the next event.
-				if evIdx < len(events) {
-					now = simtime.Max(now, events[evIdx].At)
-					continue
-				}
-				break
-			}
-			continue
-		}
-
-		// Train until the next event or horizon.
-		next := hz
-		if evIdx < len(events) && events[evIdx].At < next {
-			next = events[evIdx].At
-		}
-		for now < next {
-			now = now.Add(mbTime)
-			stats.MiniBatches++
-			stats.Examples += float64(current.Examples)
-			sinceCkpt++
-			if sinceCkpt >= mg.Opts.CheckpointEvery {
-				now = now.Add(mg.Opts.CheckpointOverhead)
-				stats.Downtime += mg.Opts.CheckpointOverhead
-				stats.Checkpoints++
-				sinceCkpt = 0
-				points = append(points, TimelinePoint{
-					At: now, GPUs: usableGPUs(), Config: current,
-					ExPerSec: float64(current.Examples) / mbTime.Seconds(),
-					Event:    "checkpoint",
-				})
-			}
-		}
-	}
-	if stats.Examples < 0 {
-		stats.Examples = 0
-	}
-	return points, stats, nil
+	return r.points, r.stats, nil
 }
 
 // Validate sanity-checks options.

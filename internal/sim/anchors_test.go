@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/simtime"
+)
+
+// TestParallelAnchorsBitIdentical is the acceptance test for anchor
+// parallelism: for every shape — below the anchor cutoff, at it, and
+// deep into extrapolation territory — EstimateMakespan with concurrent
+// anchor runs must return exactly the estimate of the serial anchor
+// order.
+func TestParallelAnchorsBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev == 1 {
+		// Force the parallel branch even on a 1-CPU container; the
+		// result must still be identical.
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	for _, shape := range []struct{ p, nm int }{
+		{1, 4}, {4, 16}, {4, 33}, {6, 48}, {6, 1000}, {18, 100}, {18, 4096}, {72, 1024},
+	} {
+		base := benchCosts18()
+		costs := make([]StageCosts, shape.p)
+		for i := range costs {
+			costs[i] = base[i%len(base)]
+		}
+		cfg := Config{Depth: shape.p, Micros: shape.nm, Policy: schedule.Varuna, Costs: costs}
+		serial, serr := EstimateMakespanSerial(cfg)
+		parallel, perr := EstimateMakespan(cfg)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("P=%d Nm=%d: error mismatch serial=%v parallel=%v", shape.p, shape.nm, serr, perr)
+		}
+		if serial != parallel {
+			t.Fatalf("P=%d Nm=%d: parallel anchors diverged: serial %v, parallel %v",
+				shape.p, shape.nm, serial, parallel)
+		}
+	}
+}
+
+// TestParallelAnchorsJitteredStaysSerial pins the guard: a config with
+// a jitter source must not fan out (the shared Rand would race and its
+// draw order would change), and the estimate must match the serial
+// reference computed with an identically-seeded source.
+func TestParallelAnchorsJitteredStaysSerial(t *testing.T) {
+	mk := func(seed int64) Config {
+		return Config{
+			Depth: 6, Micros: 128, Policy: schedule.Varuna, Costs: benchCosts18()[:6],
+			JitterCV: 0.3, ComputeJitterCV: 0.02, Rand: simtime.NewRand(seed),
+		}
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		serial, err := EstimateMakespanSerial(mk(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := EstimateMakespan(mk(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != parallel {
+			t.Fatalf("seed %d: jittered estimate drifted: serial %v, parallel %v", seed, serial, parallel)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/schedule"
 	"repro/internal/simtime"
@@ -90,7 +91,21 @@ func RunChunked(cfg Config, chunk int, gen func(depth, micros int) (*schedule.Sc
 // configuration regardless of batch size — the §7.2 requirement that
 // the simulator "react to change in spot VM availability" in hundreds
 // of milliseconds.
+//
+// When the configuration is deterministic (no jitter source), the two
+// anchor simulations run concurrently: the deepest candidate of a
+// morph sweep is the sweep's critical path (its anchors are the
+// largest Nm), so splitting them across cores cuts morph decision
+// latency without changing the result — each anchor is an independent
+// mean-parameter simulation, and the extrapolation is bit-identical to
+// the serial evaluation order.
 func EstimateMakespan(cfg Config) (simtime.Duration, error) {
+	return estimateMakespan(cfg, true)
+}
+
+// estimateMakespan is EstimateMakespan with the anchor-parallelism
+// knob explicit; tests pin parallel == serial.
+func estimateMakespan(cfg Config, parallel bool) (simtime.Duration, error) {
 	if cfg.Depth < 1 {
 		return 0, fmt.Errorf("sim: bad depth %d", cfg.Depth)
 	}
@@ -109,13 +124,29 @@ func EstimateMakespan(cfg Config) (simtime.Duration, error) {
 	half.Micros = anchor / 2
 	full := cfg
 	full.Micros = anchor
-	r1, err := Run(half)
-	if err != nil {
-		return 0, err
+	var (
+		r1, r2     Result
+		err1, err2 error
+	)
+	// A shared jitter source would make concurrent runs race (and
+	// reorder the draws), so only deterministic configs fan out.
+	if parallel && cfg.Rand == nil && runtime.GOMAXPROCS(0) > 1 {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r1, err1 = Run(half)
+		}()
+		r2, err2 = Run(full)
+		<-done
+	} else {
+		r1, err1 = Run(half)
+		r2, err2 = Run(full)
 	}
-	r2, err := Run(full)
-	if err != nil {
-		return 0, err
+	if err1 != nil {
+		return 0, err1
+	}
+	if err2 != nil {
+		return 0, err2
 	}
 	perMicro := float64(r2.Makespan-r1.Makespan) / float64(anchor-anchor/2)
 	return r2.Makespan + simtime.Duration(perMicro*float64(cfg.Micros-anchor)+0.5), nil

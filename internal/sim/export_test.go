@@ -1,0 +1,10 @@
+package sim
+
+import "repro/internal/simtime"
+
+// EstimateMakespanSerial exposes the serial-anchor estimation path so
+// tests can pin the parallel-anchor EstimateMakespan to bit-identical
+// output.
+func EstimateMakespanSerial(cfg Config) (simtime.Duration, error) {
+	return estimateMakespan(cfg, false)
+}

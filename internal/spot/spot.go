@@ -112,14 +112,42 @@ type Sample struct {
 	GPUs int
 }
 
+// probeLoop drives a market probe cadence through the simulated event
+// queue, keeping the market on the same clock machinery as the rest
+// of the system: body runs once per probe interval from time 0
+// through horizon inclusive. The tick callback is bound once and
+// rescheduled through the queue's ScheduleCall path, so a multi-day
+// trace generates no per-tick closures.
+type probeLoop struct {
+	hz     simtime.Time
+	probe  simtime.Duration
+	q      simtime.EventQueue
+	onTick func(a, b int32)
+	body   func(t simtime.Time)
+}
+
+func runProbeLoop(horizon, probe simtime.Duration, body func(t simtime.Time)) {
+	l := &probeLoop{hz: simtime.Time(horizon), probe: probe, body: body}
+	l.onTick = l.tick
+	l.q.ScheduleCall(0, l.onTick, 0, 0)
+	l.q.Run(0)
+}
+
+func (l *probeLoop) tick(int32, int32) {
+	t := l.q.Now()
+	l.body(t)
+	if next := t.Add(l.probe); next <= l.hz {
+		l.q.ScheduleCall(next, l.onTick, 0, 0)
+	}
+}
+
 // AvailabilityTrace reproduces the Figure 3 experiment: request and
 // release VMs alternately at the given probe interval for the given
 // duration, recording aggregate GPUs held. The probe loop continually
 // tries to grow toward target GPUs and random preemptions shrink it.
 func AvailabilityTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.Duration) []Trace {
 	var out []Trace
-	var t simtime.Time
-	for t = 0; t <= simtime.Time(horizon); t = t.Add(probe) {
+	runProbeLoop(horizon, probe, func(t simtime.Time) {
 		// Preempt each held VM independently.
 		haz := mk.PreemptionHazard(t) * probe.Seconds() / 3600
 		vms := mk.held / mk.GPUsPerVM
@@ -135,7 +163,7 @@ func AvailabilityTrace(mk *Market, target int, horizon simtime.Duration, probe s
 			}
 		}
 		out = append(out, Trace{At: t, GPUs: mk.held})
-	}
+	})
 	return out
 }
 
@@ -185,7 +213,7 @@ func EventTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.
 	nextVM := 0
 	live := make(map[int]bool)
 	var order []int
-	for t := simtime.Time(0); t <= simtime.Time(horizon); t = t.Add(probe) {
+	runProbeLoop(horizon, probe, func(t simtime.Time) {
 		haz := mk.PreemptionHazard(t) * probe.Seconds() / 3600
 		for i := 0; i < len(order); i++ {
 			id := order[i]
@@ -208,6 +236,6 @@ func EventTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.
 			order = append(order, id)
 			out = append(out, Event{At: t, Kind: Alloc, VM: id, GPUs: mk.GPUsPerVM})
 		}
-	}
+	})
 	return out
 }

@@ -69,23 +69,27 @@ func (tb *Testbed) noisy(d simtime.Duration) simtime.Duration {
 
 // --- calibrate.Bench implementation -------------------------------
 
-// OpForward measures the raw forward kernel time of op.
+// OpForward measures the raw forward kernel time of op — the F_i(m)
+// primitive of Table 2.
 func (tb *Testbed) OpForward(op model.Op, m int) simtime.Duration {
 	return tb.noisy(tb.Cost.RawKernelTime(op.FwdFlops*float64(m), m))
 }
 
-// OpBackward measures the raw backward kernel time of op.
+// OpBackward measures the raw backward kernel time of op — the B_i(m)
+// primitive of Table 2.
 func (tb *Testbed) OpBackward(op model.Op, m int) simtime.Duration {
 	return tb.noisy(tb.Cost.RawKernelTime(2*op.FwdFlops*float64(m), m))
 }
 
-// Overhead measures the fixed per-task launch overhead.
+// Overhead measures the fixed per-task launch overhead the §4.3
+// profiler folds into every stage time.
 func (tb *Testbed) Overhead() simtime.Duration {
 	return tb.noisy(tb.Cost.LaunchOverhead)
 }
 
 // Transfer measures a point-to-point transfer of n bytes and the
-// link's observed jitter.
+// link's observed jitter — the activation/gradient latency primitives
+// of Table 2 and the Observation-3 jitter the simulator replays.
 func (tb *Testbed) Transfer(n int64, inter bool) (simtime.Duration, float64) {
 	link := tb.Cluster.VM.Intra
 	if inter {
@@ -118,13 +122,15 @@ func (tb *Testbed) AllReduce(n int64, d, inFlight int) simtime.Duration {
 	return tb.noisy(t)
 }
 
-// Optimizer measures the weight update for n parameters.
+// Optimizer measures the weight update for n parameters (the
+// per-stage optimizer term of Table 2).
 func (tb *Testbed) Optimizer(n int64) simtime.Duration {
 	return tb.noisy(tb.Cost.OptimizerForParams(n, false))
 }
 
 // DeviceSpread measures the fleet's persistent per-device speed spread
-// by timing the same kernel across VMs.
+// by timing the same kernel across VMs (§4.6 reports spot VMs running
+// "slower than the rest, often by as much 30%").
 func (tb *Testbed) DeviceSpread() float64 {
 	return tb.HeteroCV * (1 + 0.1*tb.rng.NormFloat64())
 }
@@ -144,6 +150,14 @@ type JobConfig struct {
 	// speed factor (1.3 = 30% slower), applied to every stage of that
 	// replica's pipeline.
 	ExtraSlow map[int]float64
+	// NoTrace skips task-trace collection: Measurement.Trace stays nil
+	// and the simulator takes its allocation-free fast path. The zero
+	// value keeps the trace, so Gantt-consuming callers (Figure 7)
+	// stay correct by default; callers that only read summary metrics
+	// — MiniBatchTime, Bubble, ExPerSec — should set it (the §4.6
+	// manager measures every morph segment this way). Summary metrics
+	// are bit-identical with the trace on or off.
+	NoTrace bool
 }
 
 // TrueStageCosts assembles stage costs from the ground-truth models —
@@ -188,14 +202,17 @@ func (tb *Testbed) InterBoundaryFlags(p int) []bool {
 	return flags
 }
 
-// Measurement is one observed mini-batch execution.
+// Measurement is one observed mini-batch execution (the "Actual"
+// column of Table 7 and every measured throughput in §7).
 type Measurement struct {
 	// MiniBatchTime is the wall time of one mini-batch, allreduce and
 	// optimizer step included.
 	MiniBatchTime simtime.Duration
 	// Examples is the number of training examples processed.
 	Examples int
-	// Trace is replica 0's task trace (for Gantt rendering).
+	// Trace is replica 0's task trace (for Gantt rendering, Figure 7).
+	// Nil when the measurement ran with JobConfig.NoTrace; all other
+	// fields are unaffected by the knob.
 	Trace []sim.TaskSpan
 	// Bubble is replica 0's pipeline bubble fraction.
 	Bubble float64
@@ -269,7 +286,7 @@ func (tb *Testbed) measure(cfg JobConfig, runOne func(sim.Config) (sim.Result, e
 		ComputeJitterCV: 0.02, // GPU kernels are far steadier than the network
 		Rand:            tb.rng,
 		SpeedFactor:     speeds,
-		CollectTrace:    true, // Measurement.Trace feeds Gantt rendering
+		CollectTrace:    !cfg.NoTrace, // Measurement.Trace feeds Gantt rendering
 	}
 	var res sim.Result
 	var err error

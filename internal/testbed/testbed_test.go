@@ -241,3 +241,28 @@ func TestTrueStageCostsShape(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureNoTraceGolden(t *testing.T) {
+	// The NoTrace knob must change nothing but the trace itself: two
+	// identically-seeded testbeds measuring the same config report
+	// bit-identical summary metrics, with and without the trace.
+	cfg := jobFor(t, model.GPT2XL2B(), 9, 4, 16, 7)
+	traced, err := New(hw.SpotCluster(hw.NC6v3, 63), 7).MeasureMiniBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoTrace = true
+	fast, err := New(hw.SpotCluster(hw.NC6v3, 63), 7).MeasureMiniBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MiniBatchTime != traced.MiniBatchTime || fast.Bubble != traced.Bubble || fast.Examples != traced.Examples {
+		t.Fatalf("NoTrace drifted: %+v vs %+v", fast, traced)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal("default measurement must keep the trace")
+	}
+	if len(fast.Trace) != 0 {
+		t.Fatalf("NoTrace measurement recorded %d spans", len(fast.Trace))
+	}
+}
