@@ -54,6 +54,7 @@ func BenchmarkTable7SimAccuracy(b *testing.B)     { runExperiment(b, "table7") }
 func BenchmarkSimulatorSpeed(b *testing.B)        { runExperiment(b, "simspeed") }
 func BenchmarkPlannerCaching(b *testing.B)        { runExperiment(b, "planner") }
 func BenchmarkFigure8Morphing(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkRestartCost(b *testing.B)           { runExperiment(b, "restart-cost") }
 func BenchmarkOneVsFourGPUVMs(b *testing.B)       { runExperiment(b, "vmsize") }
 func BenchmarkFigure9Convergence(b *testing.B)    { runExperiment(b, "fig9") }
 func BenchmarkFigure10TwoBW(b *testing.B)         { runExperiment(b, "fig10") }

@@ -9,13 +9,16 @@
 //	varuna-bench -parallel 0        # fan experiments across all cores
 //	varuna-bench -json out/         # write BENCH_<id>.json timing reports
 //
-// With -parallel > 1 (or 0 for GOMAXPROCS) independent experiments run
-// concurrently, each against an isolated job cache; tables still print
-// in registry order. Experiments that serially share a calibrated job
-// (and its testbed RNG stream) recalibrate in parallel mode, so their
-// jitter samples — and thus some measured numbers — differ from a
-// serial run; see EXPERIMENTS.md. Each -json report carries the
-// experiment id, paper reference, wall-clock milliseconds and outcome.
+// With -parallel != 1 (0 means GOMAXPROCS) experiments run against
+// isolated job caches; tables still print in registry order. The
+// isolation choice follows the flag, not the resolved worker count, so
+// -parallel 0 on a 1-CPU machine runs serially but produces the same
+// isolated-cache numbers as a many-core run. Experiments that serially
+// share a calibrated job (and its testbed RNG stream) recalibrate in
+// isolated mode, so their jitter samples — and thus some measured
+// numbers — differ from a serial -parallel 1 run; see EXPERIMENTS.md.
+// Each -json report carries the experiment id, paper reference,
+// wall-clock milliseconds and outcome.
 package main
 
 import (
@@ -32,7 +35,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exp := flag.String("exp", "", "run a single experiment by id")
-	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 means GOMAXPROCS, 1 runs serially with shared calibration; >1 isolates job caches, so jitter-derived numbers can differ from a serial run — see EXPERIMENTS.md)")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (1 runs serially with shared calibration; any other value — including 0, meaning GOMAXPROCS — isolates job caches even on one CPU, so jitter-derived numbers can differ from a serial run; see EXPERIMENTS.md)")
 	jsonDir := flag.String("json", "", "directory for per-experiment BENCH_<id>.json timing reports (empty disables)")
 	flag.Parse()
 
@@ -51,7 +54,12 @@ func main() {
 		}
 		run = []experiments.Entry{e}
 	}
+	// Isolation semantics follow the flag, not the machine: -parallel 0
+	// means "isolated job caches, as parallel as the hardware allows",
+	// which on a 1-CPU box must still isolate (GOMAXPROCS resolving to
+	// 1 must not silently switch to shared-cache semantics).
 	workers := *parallel
+	isolated := *parallel != 1
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -63,7 +71,7 @@ func main() {
 	}
 
 	failed := false
-	reports := experiments.RunEntries(run, workers, func(r experiments.Report) {
+	reports := experiments.RunEntriesWith(run, experiments.RunOptions{Workers: workers, Isolated: isolated}, func(r experiments.Report) {
 		if !r.OK {
 			failed = true
 			fmt.Fprintf(os.Stderr, "varuna-bench: %s: %s\n", r.ID, r.Error)

@@ -17,7 +17,9 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/hw"
 	"repro/internal/nn"
+	"repro/internal/restart"
 )
 
 func main() {
@@ -72,7 +74,8 @@ func main() {
 		fmt.Println("no checkpoint present")
 		return
 	}
-	fmt.Printf("\nmanifest: step %d, %d/%d layers\n", m.Step, len(m.Layers), m.NumLayers)
+	fmt.Printf("\nmanifest: step %d, %d/%d layers, %d state bytes recorded\n",
+		m.Step, len(m.Layers), m.NumLayers, m.TotalBytes())
 	var total int
 	for _, l := range m.Layers {
 		ls, err := store.GetLayer(m.Step, l)
@@ -80,8 +83,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "varuna-ckpt:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("  layer %2d: %7d params (+%d Adam moments)\n", l, len(ls.Params), len(ls.M)+len(ls.V))
+		fmt.Printf("  layer %2d: %7d params (+%d Adam moments, %d bytes)\n",
+			l, len(ls.Params), len(ls.M)+len(ls.V), m.BytesFor(l))
 		total += len(ls.Params)
 	}
-	fmt.Printf("total: %d parameters\n", total)
+	if *inspect {
+		fmt.Printf("total: %d parameters\n", total)
+	} else {
+		fmt.Printf("total: %d parameters (%d bytes written through this store)\n", total, store.BytesWritten())
+	}
+
+	// Price the morph this tool just demonstrated from the manifest's
+	// own byte accounting: the 3x2 → 2x3 reshape over commodity
+	// ethernet, with un-flushed work pending. Manifests written before
+	// byte accounting existed record no sizes, and a price built from
+	// zeros would be confidently meaningless — skip it.
+	if m.TotalBytes() == 0 {
+		fmt.Println("manifest predates byte accounting; skipping reconfiguration pricing")
+		return
+	}
+	rm := restart.NewModelFromManifest(m, hw.SpotCluster(hw.NC6v3, 6))
+	costs := rm.Price(
+		restart.Assignment{Stages: restart.EvenStages(m.NumLayers, 3), D: 2},
+		restart.Assignment{Stages: restart.EvenStages(m.NumLayers, 2), D: 3},
+		true,
+	)
+	fmt.Printf("modeled 3x2 → 2x3 reconfiguration cost: %v\n", costs)
 }

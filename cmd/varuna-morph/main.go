@@ -2,10 +2,20 @@
 // and prints the morphing timeline (the Figure 8 scenario): the manager
 // grows the fleet when capacity appears, reconfigures on preemption,
 // excludes fail-stutter VMs, and checkpoints continuously.
+// Reconfiguration downtime is priced by the restart cost model; with
+// the default morph-or-hold policy the manager declines morphs whose
+// modeled downtime exceeds the discounted throughput gain.
 //
 // Usage:
 //
 //	varuna-morph -model GPT2-2.5B -target 150 -hours 24
+//	varuna-morph -policy constant          # the paper's flat 4-minute overhead
+//	varuna-morph -state /tmp/ckpt          # warm-start/persist the planner cache
+//
+// With -state, the planner's cost cache and decision memo are loaded
+// from <dir>/planner-state.json before the run (if present) and saved
+// back after it, alongside the §4.5 checkpoint — a killed-and-restarted
+// manager resumes with warm morph decisions instead of a cold re-sweep.
 package main
 
 import (
@@ -15,7 +25,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/restart"
 	"repro/internal/simtime"
 	"repro/internal/spot"
 )
@@ -26,6 +38,8 @@ func main() {
 	hours := flag.Float64("hours", 24, "simulated horizon")
 	batch := flag.Int("batch", 8192, "global mini-batch size")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	policy := flag.String("policy", "hold", "reconfiguration pricing: hold (morph-or-hold), modeled, constant")
+	stateDir := flag.String("state", "", "directory for planner-state persistence (empty disables)")
 	flag.Parse()
 
 	var spec *model.Spec
@@ -38,6 +52,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "varuna-morph: unknown model %q\n", *modelName)
 		os.Exit(1)
 	}
+	opts := manager.DefaultOptions()
+	switch *policy {
+	case "hold":
+		opts.Policy = manager.PolicyMorphOrHold
+	case "modeled":
+		opts.Policy = manager.PolicyModeled
+	case "constant":
+		opts.Policy = manager.PolicyConstant
+	default:
+		fmt.Fprintf(os.Stderr, "varuna-morph: unknown policy %q (hold, modeled, constant)\n", *policy)
+		os.Exit(1)
+	}
 
 	cluster := hw.SpotCluster(hw.NC6v3, *target)
 	job, err := core.NewJob(spec, cluster, *batch, *seed)
@@ -45,30 +71,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "varuna-morph:", err)
 		os.Exit(1)
 	}
+	if *stateDir != "" {
+		warm, err := restart.LoadState(*stateDir, job.Planner())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-morph:", err)
+			os.Exit(1)
+		}
+		if warm {
+			fmt.Printf("planner state loaded from %s\n", *stateDir)
+		}
+	}
 	mk := spot.NewMarket(1, *target*4/5, *seed+1)
 	horizon := simtime.FromSeconds(*hours * 3600)
-	points, stats, err := job.RunOnSpotMarket(mk, *target, horizon, *seed+2)
+	points, stats, err := job.RunOnSpotMarketOpts(mk, *target, horizon, *seed+2, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "varuna-morph:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%-8s %-6s %-10s %-12s %-10s %s\n", "time", "GPUs", "config", "total ex/s", "ex/s/GPU", "event")
+	fmt.Printf("%-8s %-6s %-10s %-12s %-10s %-10s %s\n", "time", "GPUs", "config", "total ex/s", "ex/s/GPU", "downtime", "event")
 	for _, p := range points {
-		cfg, per := "-", "-"
+		cfg, per, down := "-", "-", "-"
 		if p.Config.GPUsUsed > 0 {
 			cfg = fmt.Sprintf("%dx%d", p.Config.P, p.Config.D)
 			per = fmt.Sprintf("%.2f", p.ExPerSec/float64(p.Config.GPUsUsed))
 		}
-		fmt.Printf("%-8s %-6d %-10s %-12.1f %-10s %s\n",
-			fmt.Sprintf("%.1fh", p.At.Hours()), p.GPUs, cfg, p.ExPerSec, per, p.Event)
+		if p.Downtime > 0 {
+			down = p.Downtime.String()
+		}
+		fmt.Printf("%-8s %-6d %-10s %-12.1f %-10s %-10s %s\n",
+			fmt.Sprintf("%.1fh", p.At.Hours()), p.GPUs, cfg, p.ExPerSec, per, down, p.Event)
 	}
-	fmt.Printf("\n%d mini-batches (%.2fM examples), %d morphs, %d replacements, %d preemptions, %d stragglers excluded\n",
-		stats.MiniBatches, stats.Examples/1e6, stats.Morphs, stats.Replacements, stats.Preemptions, stats.StragglersExcluded)
-	fmt.Printf("%d checkpoints, %d mini-batches lost to rollbacks, %v downtime\n",
-		stats.Checkpoints, stats.LostMiniBatches, stats.Downtime)
+	fmt.Printf("\n%d mini-batches (%.2fM examples), %d morphs, %d replacements, %d holds, %d preemptions, %d stragglers excluded\n",
+		stats.MiniBatches, stats.Examples/1e6, stats.Morphs, stats.Replacements, stats.Holds, stats.Preemptions, stats.StragglersExcluded)
+	fmt.Printf("%d checkpoints, %d mini-batches lost to rollbacks, %v downtime (%v reconfiguring)\n",
+		stats.Checkpoints, stats.LostMiniBatches, stats.Downtime, stats.MorphDowntime)
 	ps := job.Planner().Stats()
 	fmt.Printf("planner: %d sweeps, decision memo %d/%d hits, cost cache %.0f%% hit rate (%d hits, %d misses, %d StageCosts builds, %d anchor sims)\n",
 		ps.Sweeps, ps.DecisionHits, ps.DecisionHits+ps.DecisionMisses,
 		100*ps.HitRate(), ps.CostHits, ps.CostMisses, ps.CostComputes, ps.SimAnchorRuns)
+	if *stateDir != "" {
+		if err := restart.SaveState(*stateDir, job.Planner()); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-morph:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("planner state saved to %s\n", *stateDir)
+	}
 }

@@ -118,12 +118,24 @@ func interFlags(p, gpusPerNode int) []bool {
 // sweeps of a Figure-8 morphing timeline revisit the same keys
 // constantly: fleet sizes recur, and nearby fleet sizes share the
 // deepest feasible depths.
+//
+// On a months-long job the key space grows without bound (one entry
+// per unique (p, m, d)), so the cache is generation-bounded: entries
+// live in a current and a previous generation of at most cap keys
+// each. Lookups check both (promoting previous-generation hits); when
+// the current generation fills, it becomes the previous one and the
+// old previous generation is dropped. Recently-touched keys therefore
+// always survive — segmented-LRU behavior without per-entry
+// bookkeeping — and since every cached value is deterministic in its
+// key, eviction can only cost recomputation, never change results.
 type costCache struct {
-	mu sync.Mutex
-	m  map[costKey]*costEntry
+	mu        sync.Mutex
+	cap       int // per-generation key bound; <= 0 is unbounded
+	cur, prev map[costKey]*costEntry
 
 	hits, misses             atomic.Uint64
 	costComputes, simAnchors atomic.Uint64
+	rotations                atomic.Uint64
 }
 
 // costKey scopes entries to the model being planned for: a Planner
@@ -144,8 +156,65 @@ type costEntry struct {
 	est   simtime.Duration
 }
 
-func newCostCache(sizeHint int) *costCache {
-	return &costCache{m: make(map[costKey]*costEntry, sizeHint)}
+func newCostCache(sizeHint int) *costCache { return newCostCacheCap(sizeHint, 0) }
+
+// newCostCacheCap builds a cache bounded to cap keys per generation
+// (cap <= 0 keeps the unbounded per-sweep behavior).
+func newCostCacheCap(sizeHint, cap int) *costCache {
+	if cap > 0 && sizeHint > cap {
+		sizeHint = cap
+	}
+	return &costCache{cap: cap, cur: make(map[costKey]*costEntry, sizeHint)}
+}
+
+// lookup finds a key in either generation, promoting previous-generation
+// hits into the current one.
+func (c *costCache) lookup(key costKey) (*costEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.cur[key]; ok {
+		return e, true
+	}
+	if e, ok := c.prev[key]; ok {
+		c.insertLocked(key, e)
+		return e, true
+	}
+	return nil, false
+}
+
+// store inserts a freshly computed entry.
+func (c *costCache) store(key costKey, e *costEntry) {
+	c.mu.Lock()
+	c.insertLocked(key, e)
+	c.mu.Unlock()
+}
+
+// insertLocked places an entry into the current generation, rotating
+// generations when the bound is hit. Caller holds mu.
+func (c *costCache) insertLocked(key costKey, e *costEntry) {
+	if c.cap > 0 && len(c.cur) >= c.cap {
+		if _, ok := c.cur[key]; !ok {
+			c.prev = c.cur
+			c.cur = make(map[costKey]*costEntry, c.cap)
+			c.rotations.Add(1)
+		}
+	}
+	c.cur[key] = e
+}
+
+// snapshot returns every live entry (both generations, current wins),
+// for state export.
+func (c *costCache) snapshot() map[costKey]*costEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[costKey]*costEntry, len(c.cur)+len(c.prev))
+	for k, e := range c.prev {
+		out[k] = e
+	}
+	for k, e := range c.cur {
+		out[k] = e
+	}
+	return out
 }
 
 // estimate returns the simulated mini-batch time for one fully
@@ -166,9 +235,7 @@ func (c *costCache) estimate(in Inputs, stages []model.Stage, p, m, d, nm int) (
 		})
 	}
 	key := costKey{spec: in.Spec, p: p, m: m, d: d}
-	c.mu.Lock()
-	e, ok := c.m[key]
-	c.mu.Unlock()
+	e, ok := c.lookup(key)
 	if ok && e.nm == nm {
 		c.hits.Add(1)
 		return e.est, nil
@@ -199,9 +266,7 @@ func (c *costCache) estimate(in Inputs, stages []model.Stage, p, m, d, nm int) (
 		return 0, err
 	}
 	c.simAnchors.Add(1)
-	c.mu.Lock()
-	c.m[key] = &costEntry{costs: costs, nm: nm, est: est}
-	c.mu.Unlock()
+	c.store(key, &costEntry{costs: costs, nm: nm, est: est})
 	return est, nil
 }
 

@@ -1,0 +1,86 @@
+package autoconfig
+
+import (
+	"repro/internal/restart"
+	"repro/internal/simtime"
+)
+
+// MorphDecision is the outcome of a cost-aware BestOrHold evaluation:
+// either reconfigure to Choice and pay Costs of downtime, or hold the
+// current configuration because the morph would not pay for itself
+// before the fleet likely changes again.
+type MorphDecision struct {
+	// Morph reports whether reconfiguring beats holding.
+	Morph bool
+	// Choice is the sweep's best configuration for the new fleet (the
+	// would-be target even when holding).
+	Choice Choice
+	// Costs is the modeled downtime of moving to Choice.
+	Costs restart.Costs
+	// GainPerSec is the steady-state throughput delta of Choice over
+	// the held configuration (examples/s; <= 0 always holds).
+	GainPerSec float64
+	// Horizon is the expected time until the next fleet event the
+	// decision discounted the gain over.
+	Horizon simtime.Duration
+}
+
+// BestOrHold is the cost-aware variant of Best: given the currently
+// running configuration, a reconfiguration-cost model and the expected
+// time until the next fleet event (spot-derived), it decides whether
+// morphing to the sweep's best choice for g GPUs pays for itself
+// before the fleet likely changes again.
+//
+// The trade is examples: morphing forfeits cur's throughput for the
+// modeled downtime, then earns the throughput gain only over whatever
+// remains of the expected stable window. Hold when
+//
+//	gain × max(0, horizon − downtime)  ≤  cur_throughput × downtime
+//
+// i.e. when modeled downtime exceeds the discounted steady-state gain.
+// A job that is not running, or whose current shape no longer fits the
+// fleet, always morphs. The underlying Best(g) is memoized as usual,
+// so the added decision work is arithmetic, not simulation.
+func (pl *Planner) BestOrHold(g int, cur Choice, running bool, rm *restart.Model, horizon simtime.Duration, dirty bool) (MorphDecision, error) {
+	best, err := pl.Best(g)
+	if err != nil {
+		return MorphDecision{}, err
+	}
+	dec := MorphDecision{Choice: best, Horizon: horizon}
+	if !running || rm == nil {
+		dec.Morph = true
+		if rm != nil {
+			dec.Costs = rm.Price(restart.Assignment{}, assignmentOf(best), false)
+		}
+		return dec, nil
+	}
+	dec.Costs = rm.Price(assignmentOf(cur), assignmentOf(best), dirty)
+	dec.GainPerSec = best.TotalExPerSec() - cur.TotalExPerSec()
+	if cur.GPUsUsed > g {
+		// The running shape no longer fits the fleet: forced morph.
+		dec.Morph = true
+		return dec, nil
+	}
+	if best.P == cur.P && best.D == cur.D {
+		// Same shape: nothing to gain from a voluntary restart.
+		return dec, nil
+	}
+	if dec.GainPerSec <= 0 {
+		return dec, nil
+	}
+	down := dec.Costs.Total()
+	usable := horizon - down
+	if usable < 0 {
+		usable = 0
+	}
+	earned := dec.GainPerSec * usable.Seconds()
+	forfeited := cur.TotalExPerSec() * down.Seconds()
+	dec.Morph = earned > forfeited
+	return dec, nil
+}
+
+// assignmentOf converts a sweep choice into the restart model's
+// costing terms.
+func assignmentOf(c Choice) restart.Assignment {
+	return restart.Assignment{Stages: c.Stages, D: c.D}
+}

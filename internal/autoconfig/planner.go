@@ -29,16 +29,34 @@ import (
 // Sweep/Best functions: cached values are exactly the values a cold
 // evaluation computes (TestPlannerSecondSweepGolden pins this). A
 // Planner is safe for concurrent use.
+//
+// Both caches are generation-bounded (segmented LRU): a months-long
+// job cannot grow them without limit, and because every cached value
+// is deterministic in its key, eviction only ever costs recomputation
+// — never a different decision (TestPlannerCappedBitIdentical here,
+// TestTimelineCappedPlannerBitIdentical at the manager level).
 type Planner struct {
-	mu        sync.Mutex
-	in        Inputs
-	cache     *costCache
-	decisions map[int]plannerDecision
-
-	sweeps                       uint64
-	decisionHits, decisionMisses uint64
-	invalidations                uint64
+	mu       sync.Mutex
+	in       Inputs
+	cache    *costCache
+	costCap  int
+	decCap   int
+	decCur   map[int]plannerDecision
+	decPrev  map[int]plannerDecision
+	sweeps   uint64
+	decHits  uint64
+	decMiss  uint64
+	decRot   uint64
+	invalids uint64
 }
+
+// Default cache bounds: generous for any realistic fleet (one decision
+// per quantized fleet size, a handful of cost keys per size), small
+// enough that a year of churn stays O(MB).
+const (
+	DefaultCostCacheCap = 4096
+	DefaultDecisionCap  = 512
+)
 
 // plannerDecision memoizes one Best(g) outcome, including sticky
 // infeasibility (a fleet too small for the model stays too small).
@@ -47,14 +65,23 @@ type plannerDecision struct {
 	err    error
 }
 
-// NewPlanner builds a Planner for the job described by in. Create one
-// per job and keep it for the job's lifetime — the caches are the
-// point.
+// NewPlanner builds a Planner for the job described by in with the
+// default cache bounds. Create one per job and keep it for the job's
+// lifetime — the caches are the point.
 func NewPlanner(in Inputs) *Planner {
+	return NewPlannerCapped(in, DefaultCostCacheCap, DefaultDecisionCap)
+}
+
+// NewPlannerCapped builds a Planner with explicit cache bounds:
+// costEntries keys per cost-cache generation and decisions entries per
+// decision-memo generation (<= 0 means unbounded).
+func NewPlannerCapped(in Inputs, costEntries, decisions int) *Planner {
 	return &Planner{
-		in:        in,
-		cache:     newCostCache(64),
-		decisions: make(map[int]plannerDecision),
+		in:      in,
+		cache:   newCostCacheCap(64, costEntries),
+		costCap: costEntries,
+		decCap:  decisions,
+		decCur:  make(map[int]plannerDecision),
 	}
 }
 
@@ -80,9 +107,10 @@ func (pl *Planner) SetInputs(in Inputs) {
 		pl.in.MTotal == in.MTotal &&
 		pl.in.GPUsPerNode == in.GPUsPerNode &&
 		sameCuts(pl.in.Cuts, in.Cuts); !same {
-		pl.cache = newCostCache(64)
-		pl.decisions = make(map[int]plannerDecision)
-		pl.invalidations++
+		pl.cache = newCostCacheCap(64, pl.costCap)
+		pl.decCur = make(map[int]plannerDecision)
+		pl.decPrev = nil
+		pl.invalids++
 	}
 	pl.in = in
 }
@@ -128,20 +156,46 @@ func (pl *Planner) Evaluate(p, d int) (Choice, error) {
 // replays the stored decision for free.
 func (pl *Planner) Best(g int) (Choice, error) {
 	pl.mu.Lock()
-	if dec, ok := pl.decisions[g]; ok {
-		pl.decisionHits++
+	if dec, ok := pl.lookupDecisionLocked(g); ok {
+		pl.decHits++
 		pl.mu.Unlock()
 		return dec.choice, dec.err
 	}
-	pl.decisionMisses++
+	pl.decMiss++
 	pl.mu.Unlock()
 
 	choice, err := best(g, pl.Sweep)
 
 	pl.mu.Lock()
-	pl.decisions[g] = plannerDecision{choice: choice, err: err}
+	pl.storeDecisionLocked(g, plannerDecision{choice: choice, err: err})
 	pl.mu.Unlock()
 	return choice, err
+}
+
+// lookupDecisionLocked finds a memoized decision in either generation,
+// promoting previous-generation hits. Caller holds mu.
+func (pl *Planner) lookupDecisionLocked(g int) (plannerDecision, bool) {
+	if dec, ok := pl.decCur[g]; ok {
+		return dec, true
+	}
+	if dec, ok := pl.decPrev[g]; ok {
+		pl.storeDecisionLocked(g, dec)
+		return dec, true
+	}
+	return plannerDecision{}, false
+}
+
+// storeDecisionLocked inserts into the current generation, rotating
+// when the bound is hit. Caller holds mu.
+func (pl *Planner) storeDecisionLocked(g int, dec plannerDecision) {
+	if pl.decCap > 0 && len(pl.decCur) >= pl.decCap {
+		if _, ok := pl.decCur[g]; !ok {
+			pl.decPrev = pl.decCur
+			pl.decCur = make(map[int]plannerDecision, pl.decCap)
+			pl.decRot++
+		}
+	}
+	pl.decCur[g] = dec
 }
 
 // Stats returns a snapshot of the Planner's cache effectiveness.
@@ -149,14 +203,16 @@ func (pl *Planner) Stats() PlannerStats {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	return PlannerStats{
-		Sweeps:         pl.sweeps,
-		CostHits:       pl.cache.hits.Load(),
-		CostMisses:     pl.cache.misses.Load(),
-		CostComputes:   pl.cache.costComputes.Load(),
-		SimAnchorRuns:  pl.cache.simAnchors.Load(),
-		DecisionHits:   pl.decisionHits,
-		DecisionMisses: pl.decisionMisses,
-		Invalidations:  pl.invalidations,
+		Sweeps:            pl.sweeps,
+		CostHits:          pl.cache.hits.Load(),
+		CostMisses:        pl.cache.misses.Load(),
+		CostComputes:      pl.cache.costComputes.Load(),
+		SimAnchorRuns:     pl.cache.simAnchors.Load(),
+		CostEvictions:     pl.cache.rotations.Load(),
+		DecisionHits:      pl.decHits,
+		DecisionMisses:    pl.decMiss,
+		DecisionEvictions: pl.decRot,
+		Invalidations:     pl.invalids,
 	}
 }
 
@@ -176,8 +232,13 @@ type PlannerStats struct {
 	// SimAnchorRuns counts candidates whose anchor simulations ran
 	// (cache misses that reached the simulator).
 	SimAnchorRuns uint64
+	// CostEvictions counts cost-cache generation rotations (a rotation
+	// drops the oldest generation's keys).
+	CostEvictions uint64
 	// DecisionHits and DecisionMisses count Best(g) memo lookups.
 	DecisionHits, DecisionMisses uint64
+	// DecisionEvictions counts decision-memo generation rotations.
+	DecisionEvictions uint64
 	// Invalidations counts SetInputs calls that reset the caches.
 	Invalidations uint64
 }

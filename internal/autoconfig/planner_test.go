@@ -4,7 +4,10 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/restart"
+	"repro/internal/simtime"
 )
 
 // TestPlannerSecondSweepGolden is the acceptance test for the
@@ -178,6 +181,133 @@ func TestPlannerInvalidatesOnSpecChange(t *testing.T) {
 	pl.SetInputs(rec)
 	if got := pl.Stats(); got.Invalidations != 2 {
 		t.Fatalf("cut-point change must invalidate, stats %+v", got)
+	}
+}
+
+// TestPlannerCappedBitIdentical pins the eviction soundness argument:
+// a Planner with pathologically small cache bounds recomputes more but
+// returns exactly the choices an unbounded one does, across a sequence
+// of fleet sizes that forces constant generation rotation.
+func TestPlannerCappedBitIdentical(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	free := NewPlannerCapped(in, 0, 0)
+	tight := NewPlannerCapped(in, 3, 2)
+	sizes := []int{100, 72, 96, 100, 48, 72, 100, 96}
+	for _, g := range sizes {
+		want, err := free.Best(g)
+		if err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		got, err := tight.Best(g)
+		if err != nil {
+			t.Fatalf("G=%d capped: %v", g, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("G=%d: capped planner diverged\nwant %+v\ngot  %+v", g, want, got)
+		}
+	}
+	ts := tight.Stats()
+	if ts.CostEvictions == 0 && ts.DecisionEvictions == 0 {
+		t.Fatalf("cap of 3 cost keys / 2 decisions must rotate over %d sizes: %+v", len(sizes), ts)
+	}
+	if fs := free.Stats(); fs.CostEvictions != 0 || fs.DecisionEvictions != 0 {
+		t.Fatalf("unbounded planner evicted: %+v", fs)
+	}
+}
+
+// restartModelFor builds a restart cost model matching the test
+// cluster.
+func restartModelFor(in Inputs) *restart.Model {
+	return restart.NewModel(in.Spec, hw.SpotCluster(hw.NC6v3, 300))
+}
+
+// TestBestOrHoldColdStartMorphs: with nothing running there is nothing
+// to hold.
+func TestBestOrHoldColdStartMorphs(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	dec, err := pl.BestOrHold(100, Choice{}, false, restartModelFor(in), simtime.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Morph {
+		t.Fatal("cold start must morph")
+	}
+	want, err := pl.Best(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Choice, want) {
+		t.Fatal("cold-start choice must be Best(g)")
+	}
+	if dec.Costs.Redistribute == 0 || dec.Costs.Stop != 0 {
+		t.Fatalf("cold start pays redistribution but no stop: %+v", dec.Costs)
+	}
+}
+
+// TestBestOrHoldSameShapeHolds: when the sweep's best is the shape
+// already running, a voluntary restart gains nothing.
+func TestBestOrHoldSameShapeHolds(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	cur, err := pl.Best(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pl.BestOrHold(100, cur, true, restartModelFor(in), simtime.Hour, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Morph {
+		t.Fatal("same-shape best must hold")
+	}
+}
+
+// TestBestOrHoldWeighsHorizon is the economics test: the same
+// (current, best) pair must morph when the fleet is expected to stay
+// stable long enough to amortize the downtime, and hold when the next
+// fleet event is imminent.
+func TestBestOrHoldWeighsHorizon(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	best, err := pl.Best(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately slower running shape at the same fleet size.
+	var cur Choice
+	found := false
+	sweep, err := pl.Sweep(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sweep {
+		if c.P != best.P && c.TotalExPerSec() < best.TotalExPerSec() {
+			cur, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("sweep produced no slower alternative to contrast")
+	}
+	rm := restartModelFor(in)
+	long, err := pl.BestOrHold(100, cur, true, rm, 24*simtime.Hour, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !long.Morph {
+		t.Fatalf("a 24h stable window must justify %v of downtime for +%.1f ex/s", long.Costs.Total(), long.GainPerSec)
+	}
+	down := long.Costs.Total()
+	short, err := pl.BestOrHold(100, cur, true, rm, down/2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Morph {
+		t.Fatalf("a window shorter than the %v downtime must hold", down)
+	}
+	if short.GainPerSec != long.GainPerSec || short.Costs != long.Costs {
+		t.Fatal("pricing must not depend on the horizon")
 	}
 }
 

@@ -26,6 +26,13 @@ type LayerState struct {
 	Params, M, V []float64
 }
 
+// Bytes reports the serialized size of the layer's state: every value
+// is stored as a float64. This is the per-layer unit the restart cost
+// model prices flushes and redistribution in.
+func (ls LayerState) Bytes() int64 {
+	return 8 * int64(len(ls.Params)+len(ls.M)+len(ls.V))
+}
+
 // Manifest records a consistent checkpoint: which mini-batch it
 // reflects and which layers it contains.
 type Manifest struct {
@@ -33,8 +40,36 @@ type Manifest struct {
 	Step int
 	// Layers lists the layer indices present.
 	Layers []int
+	// LayerBytes, when present, is aligned with Layers and records each
+	// layer's serialized state size — the per-layer byte accounting
+	// restart.NewModelFromManifest prices checkpoint flushes and
+	// post-morph state redistribution from when a real checkpoint
+	// exists (the manager's simulated timeline derives the same sizes
+	// analytically from the model spec). Older manifests omit it.
+	LayerBytes []int64 `json:"LayerBytes,omitempty"`
 	// NumLayers is the model's total layer count.
 	NumLayers int
+}
+
+// TotalBytes sums the per-layer state sizes; 0 when the manifest
+// predates byte accounting.
+func (m Manifest) TotalBytes() int64 {
+	var n int64
+	for _, b := range m.LayerBytes {
+		n += b
+	}
+	return n
+}
+
+// BytesFor reports the recorded state size of one layer, or 0 when the
+// manifest has no byte accounting for it.
+func (m Manifest) BytesFor(layer int) int64 {
+	for i, l := range m.Layers {
+		if l == layer && i < len(m.LayerBytes) {
+			return m.LayerBytes[i]
+		}
+	}
+	return 0
 }
 
 // Store is a checkpoint destination. Implementations must be usable
@@ -48,6 +83,40 @@ type Store interface {
 	PutManifest(m Manifest) error
 	// Latest returns the newest complete manifest, or ok=false.
 	Latest() (Manifest, bool, error)
+	// BytesWritten reports the cumulative layer-state bytes persisted
+	// through this store — the observable behind flush-cost modeling.
+	BytesWritten() int64
+}
+
+// normalizeManifest validates the byte accounting and sorts the
+// (layer, bytes) pairs by layer index so manifests compare and
+// serialize deterministically.
+func normalizeManifest(m Manifest) (Manifest, error) {
+	if len(m.LayerBytes) != 0 && len(m.LayerBytes) != len(m.Layers) {
+		return Manifest{}, fmt.Errorf("checkpoint: manifest has %d layers but %d byte entries",
+			len(m.Layers), len(m.LayerBytes))
+	}
+	mm := m
+	mm.Layers = append([]int(nil), m.Layers...)
+	mm.LayerBytes = append([]int64(nil), m.LayerBytes...)
+	idx := make([]int, len(mm.Layers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return mm.Layers[idx[a]] < mm.Layers[idx[b]] })
+	layers := make([]int, len(idx))
+	for i, j := range idx {
+		layers[i] = mm.Layers[j]
+	}
+	mm.Layers = layers
+	if len(mm.LayerBytes) != 0 {
+		bytes := make([]int64, len(idx))
+		for i, j := range idx {
+			bytes[i] = mm.LayerBytes[j]
+		}
+		mm.LayerBytes = bytes
+	}
+	return mm, nil
 }
 
 // MemStore is an in-memory Store, used by the manager simulation and
@@ -55,6 +124,7 @@ type Store interface {
 type MemStore struct {
 	layers   map[int]map[int]LayerState
 	manifest *Manifest
+	written  int64
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -68,6 +138,7 @@ func (s *MemStore) PutLayer(step int, ls LayerState) error {
 		s.layers[step] = make(map[int]LayerState)
 	}
 	s.layers[step][ls.Layer] = cloneLayer(ls)
+	s.written += ls.Bytes()
 	return nil
 }
 
@@ -87,8 +158,10 @@ func (s *MemStore) PutManifest(m Manifest) error {
 			return fmt.Errorf("checkpoint: manifest for step %d references missing layer %d", m.Step, l)
 		}
 	}
-	mm := m
-	mm.Layers = append([]int(nil), m.Layers...)
+	mm, err := normalizeManifest(m)
+	if err != nil {
+		return err
+	}
 	s.manifest = &mm
 	return nil
 }
@@ -100,6 +173,9 @@ func (s *MemStore) Latest() (Manifest, bool, error) {
 	}
 	return *s.manifest, true, nil
 }
+
+// BytesWritten implements Store.
+func (s *MemStore) BytesWritten() int64 { return s.written }
 
 func cloneLayer(ls LayerState) LayerState {
 	return LayerState{
@@ -150,6 +226,8 @@ func Coverage(stageLayers []int, d int) error {
 // mid-checkpoint leaves the previous manifest intact.
 type FileStore struct {
 	Dir string
+
+	written int64
 }
 
 // NewFileStore creates the directory if needed.
@@ -180,8 +258,15 @@ func (s *FileStore) PutLayer(step int, ls LayerState) error {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	return os.Rename(tmp, s.layerPath(step, ls.Layer))
+	if err := os.Rename(tmp, s.layerPath(step, ls.Layer)); err != nil {
+		return err
+	}
+	s.written += ls.Bytes()
+	return nil
 }
+
+// BytesWritten implements Store.
+func (s *FileStore) BytesWritten() int64 { return s.written }
 
 func writeLayer(f *os.File, ls LayerState) error {
 	hdr := []int64{int64(ls.Layer), int64(len(ls.Params)), int64(len(ls.M)), int64(len(ls.V))}
@@ -225,8 +310,11 @@ func (s *FileStore) manifestPath() string { return filepath.Join(s.Dir, "manifes
 
 // PutManifest implements Store.
 func (s *FileStore) PutManifest(m Manifest) error {
-	sort.Ints(m.Layers)
-	data, err := json.Marshal(m)
+	mm, err := normalizeManifest(m)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(mm)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}

@@ -48,6 +48,82 @@ func testStoreRoundTrip(t *testing.T, s Store) {
 
 func TestMemStoreRoundTrip(t *testing.T) { testStoreRoundTrip(t, NewMemStore()) }
 
+func TestLayerStateBytes(t *testing.T) {
+	ls := layer(0, 1) // 8 params + 8 m + 8 v, one float64 each
+	if got := ls.Bytes(); got != 24*8 {
+		t.Fatalf("Bytes() = %d, want %d", got, 24*8)
+	}
+	if got := (LayerState{}).Bytes(); got != 0 {
+		t.Fatalf("empty layer Bytes() = %d", got)
+	}
+}
+
+// testByteAccounting pins the per-layer byte plumbing the restart cost
+// model prices from: stores count written bytes, manifests carry
+// per-layer sizes sorted with their layers.
+func testByteAccounting(t *testing.T, s Store) {
+	t.Helper()
+	if s.BytesWritten() != 0 {
+		t.Fatalf("fresh store reports %d bytes written", s.BytesWritten())
+	}
+	var want int64
+	for i := 0; i < 3; i++ {
+		ls := layer(i, float64(i))
+		want += ls.Bytes()
+		if err := s.PutLayer(1, ls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.BytesWritten(); got != want {
+		t.Fatalf("BytesWritten = %d, want %d", got, want)
+	}
+	// Manifest byte entries must align with layers; deliberately out of
+	// order to check co-sorting.
+	per := layer(0, 0).Bytes()
+	err := s.PutManifest(Manifest{
+		Step: 1, Layers: []int{2, 0, 1}, LayerBytes: []int64{per + 2, per, per + 1}, NumLayers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s.Latest()
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v ok=%v", err, ok)
+	}
+	for i, l := range m.Layers {
+		if l != i {
+			t.Fatalf("layers not sorted: %v", m.Layers)
+		}
+		if m.LayerBytes[i] != per+int64(i) {
+			t.Fatalf("layer %d bytes %d did not follow its layer through the sort (%v)", l, m.LayerBytes[i], m.LayerBytes)
+		}
+	}
+	if got := m.TotalBytes(); got != 3*per+3 {
+		t.Fatalf("TotalBytes = %d, want %d", got, 3*per+3)
+	}
+	if got := m.BytesFor(1); got != per+1 {
+		t.Fatalf("BytesFor(1) = %d, want %d", got, per+1)
+	}
+	if got := m.BytesFor(9); got != 0 {
+		t.Fatalf("BytesFor(missing) = %d, want 0", got)
+	}
+	// A mismatched byte vector must be rejected.
+	err = s.PutManifest(Manifest{Step: 1, Layers: []int{0, 1}, LayerBytes: []int64{per}, NumLayers: 3})
+	if err == nil {
+		t.Fatal("manifest with misaligned LayerBytes must fail")
+	}
+}
+
+func TestMemStoreByteAccounting(t *testing.T) { testByteAccounting(t, NewMemStore()) }
+
+func TestFileStoreByteAccounting(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testByteAccounting(t, fs)
+}
+
 func TestFileStoreRoundTrip(t *testing.T) {
 	fs, err := NewFileStore(t.TempDir())
 	if err != nil {

@@ -150,12 +150,30 @@ func (j *Job) jobConfig(c autoconfig.Choice) testbed.JobConfig {
 }
 
 // RunOnSpotMarket drives the job through a spot-market trace with the
-// Varuna manager: morphing on fleet changes, checkpoint rollbacks on
-// preemption, straggler exclusion (§4.6, Figure 8). The manager plans
-// with the job's lifetime Planner, so morph decisions stay cached
-// across repeated runs on the same Job.
+// Varuna manager under default options: morphing on fleet changes
+// (priced by the restart cost model, held when unprofitable),
+// checkpoint rollbacks on preemption, straggler exclusion (§4.6,
+// Figure 8). The manager plans with the job's lifetime Planner, so
+// morph decisions stay cached across repeated runs on the same Job.
 func (j *Job) RunOnSpotMarket(mk *spot.Market, targetGPUs int, horizon simtime.Duration, seed int64) ([]manager.TimelinePoint, manager.Stats, error) {
+	return j.RunOnSpotMarketOpts(mk, targetGPUs, horizon, seed, manager.DefaultOptions())
+}
+
+// RunOnSpotMarketOpts is RunOnSpotMarket with explicit manager options
+// (reconfiguration pricing policy, checkpoint cadence, thresholds).
+// When the caller leaves EventGapPrior unset, the morph-or-hold
+// horizon is seeded from the market's own analytic hazard — the
+// expected time to the next fleet event for a fleet at the target
+// size — until observed gaps take over.
+func (j *Job) RunOnSpotMarketOpts(mk *spot.Market, targetGPUs int, horizon simtime.Duration, seed int64, opts manager.Options) ([]manager.TimelinePoint, manager.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, manager.Stats{}, err
+	}
+	if opts.EventGapPrior <= 0 {
+		vms := (targetGPUs + mk.GPUsPerVM - 1) / mk.GPUsPerVM
+		opts.EventGapPrior = mk.ExpectedNextEvent(0, vms)
+	}
 	events := spot.EventTrace(mk, targetGPUs, horizon, 10*simtime.Minute)
-	mg := manager.NewWithPlanner(j.in, j.tb, j.planner, manager.DefaultOptions(), seed)
+	mg := manager.NewWithPlanner(j.in, j.tb, j.planner, opts, seed)
 	return mg.RunTimeline(events, horizon)
 }

@@ -16,6 +16,7 @@ import (
 func (e *Engine) Save(store checkpoint.Store) error {
 	numLayers := e.cfg.GPT.Layers + 2
 	var manifest []int
+	var layerBytes []int64
 	for s := 0; s < e.cfg.P; s++ {
 		stageLayers := e.stageLayerIndices(s)
 		for r := 0; r < e.cfg.D; r++ {
@@ -25,13 +26,16 @@ func (e *Engine) Save(store checkpoint.Store) error {
 					return err
 				}
 				manifest = append(manifest, l)
+				layerBytes = append(layerBytes, ls.Bytes())
 			}
 		}
 	}
 	if len(manifest) != numLayers {
 		return fmt.Errorf("engine: checkpoint covered %d of %d layers", len(manifest), numLayers)
 	}
-	return store.PutManifest(checkpoint.Manifest{Step: e.step, Layers: manifest, NumLayers: numLayers})
+	return store.PutManifest(checkpoint.Manifest{
+		Step: e.step, Layers: manifest, LayerBytes: layerBytes, NumLayers: numLayers,
+	})
 }
 
 // stageLayerIndices lists the global layer indices owned by stage s.

@@ -40,41 +40,64 @@ func runOne(e Entry, x *Ctx) Report {
 	return r
 }
 
+// RunOptions controls RunEntries execution.
+type RunOptions struct {
+	// Workers is the number of experiments run concurrently (values
+	// below 1 mean 1).
+	Workers int
+	// Isolated gives every experiment its own Ctx, so results are
+	// deterministic regardless of scheduling — at the price of
+	// re-calibrating jobs a shared-Ctx run would reuse. Workers > 1
+	// always isolates (a shared Ctx's testbed RNG is neither
+	// goroutine-safe nor order-independent); Isolated with one worker
+	// reproduces the parallel run's numbers serially, which is how a
+	// 1-CPU machine gets the same semantics as everyone else.
+	Isolated bool
+}
+
 // RunEntries executes the given experiments and returns their reports
 // in entry order. onDone, when non-nil, receives each report in entry
 // order as soon as it and all its predecessors have finished, so a
-// serial run streams results as they complete.
+// serial run streams results as they complete. The sink is always
+// invoked outside the runner's internal lock: a slow consumer delays
+// the stream, never the experiments.
 //
 // workers <= 1 runs serially with one shared Ctx: calibrated jobs are
 // reused across experiments. workers > 1 runs up to that many
-// experiments concurrently, each with its own isolated Ctx — results
-// are then deterministic regardless of scheduling, at the price of
-// re-calibrating jobs that a serial run would have shared (and, for
-// experiments whose testbed RNG stream previously carried over from an
-// earlier experiment, numerically different but equally valid jitter
-// samples).
+// experiments concurrently, each with its own isolated Ctx (see
+// RunOptions.Isolated for the determinism trade).
 func RunEntries(entries []Entry, workers int, onDone func(Report)) []Report {
+	return RunEntriesWith(entries, RunOptions{Workers: workers, Isolated: workers > 1}, onDone)
+}
+
+// RunEntriesWith is RunEntries with explicit isolation control.
+func RunEntriesWith(entries []Entry, opts RunOptions, onDone func(Report)) []Report {
 	reports := make([]Report, len(entries))
 	if onDone == nil {
 		onDone = func(Report) {}
 	}
+	workers := opts.Workers
+	if workers > len(entries) {
+		workers = len(entries)
+	}
 	if workers <= 1 {
 		x := NewCtx()
 		for i, e := range entries {
+			if opts.Isolated {
+				x = NewCtx()
+			}
 			reports[i] = runOne(e, x)
 			onDone(reports[i])
 		}
 		return reports
 	}
 
-	if workers > len(entries) {
-		workers = len(entries)
-	}
 	var (
 		mu       sync.Mutex
 		done     = make([]bool, len(entries))
 		frontier int
 		next     int
+		flushing bool
 		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
@@ -93,10 +116,22 @@ func RunEntries(entries []Entry, workers int, onDone func(Report)) []Report {
 				mu.Lock()
 				reports[i] = r
 				done[i] = true
-				// Flush the contiguous completed prefix in order.
-				for frontier < len(entries) && done[frontier] {
-					onDone(reports[frontier])
-					frontier++
+				// Flush the contiguous completed prefix in order. One
+				// worker at a time drains it, releasing the lock around
+				// each sink call so the other workers keep claiming and
+				// running entries while a slow consumer prints; reports
+				// completed mid-drain are picked up when the drainer
+				// re-checks the frontier under the lock.
+				if !flushing {
+					flushing = true
+					for frontier < len(entries) && done[frontier] {
+						rep := reports[frontier]
+						frontier++
+						mu.Unlock()
+						onDone(rep)
+						mu.Lock()
+					}
+					flushing = false
 				}
 				mu.Unlock()
 			}

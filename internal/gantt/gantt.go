@@ -97,6 +97,46 @@ func CSV(trace []sim.TaskSpan) string {
 	return b.String()
 }
 
+// Seg is one labeled interval of a wall-clock timeline strip.
+type Seg struct {
+	Start, End simtime.Time
+	Glyph      rune
+}
+
+// Strip renders intervals onto one width-column row covering [0, end]
+// — the single-row Gantt used for morphing-timeline ablations (uptime
+// vs reconfiguration downtime vs dead fleet). Later segments overwrite
+// earlier ones; uncovered columns stay '·'.
+func Strip(segs []Seg, end simtime.Time, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if end <= 0 {
+		return strings.Repeat("·", width)
+	}
+	row := []rune(strings.Repeat("·", width))
+	for _, s := range segs {
+		if s.End <= s.Start || s.End <= 0 {
+			continue
+		}
+		lo := int(int64(s.Start) * int64(width) / int64(end))
+		hi := int(int64(s.End) * int64(width) / int64(end))
+		if lo < 0 {
+			lo = 0 // segment begins before the strip: clamp, don't drop
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for c := lo; c < hi; c++ {
+			row[c] = s.Glyph
+		}
+	}
+	return string(row)
+}
+
 // Utilization summarizes per-stage busy fractions of a trace.
 func Utilization(trace []sim.TaskSpan, depth int) []float64 {
 	busy := make([]simtime.Duration, depth)

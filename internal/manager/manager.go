@@ -12,34 +12,85 @@ import (
 	"sort"
 
 	"repro/internal/autoconfig"
+	"repro/internal/restart"
 	"repro/internal/simtime"
 	"repro/internal/spot"
 	"repro/internal/testbed"
 )
 
+// MorphPolicy selects how the manager prices reconfiguration downtime
+// and whether it may decline an unprofitable morph.
+type MorphPolicy int
+
+const (
+	// PolicyMorphOrHold prices each candidate reconfiguration with the
+	// restart cost model and holds the current configuration when the
+	// modeled downtime exceeds the discounted steady-state throughput
+	// gain (the default).
+	PolicyMorphOrHold MorphPolicy = iota
+	// PolicyModeled always reconfigures on fleet changes but charges
+	// the restart-model price instead of a constant.
+	PolicyModeled
+	// PolicyConstant charges the flat ConstOverhead per morph — the
+	// paper's original accounting, kept for the restart-cost ablation.
+	PolicyConstant
+)
+
+// String names the policy.
+func (p MorphPolicy) String() string {
+	switch p {
+	case PolicyMorphOrHold:
+		return "morph-or-hold"
+	case PolicyModeled:
+		return "modeled"
+	case PolicyConstant:
+		return "constant"
+	default:
+		return fmt.Sprintf("MorphPolicy(%d)", int(p))
+	}
+}
+
 // Options tunes the §4.6 manager: checkpoint cadence, reconfiguration
-// overhead and the fail-stutter detection threshold.
+// pricing and the fail-stutter detection threshold.
 type Options struct {
 	// CheckpointEvery is the checkpoint cadence in mini-batches.
 	CheckpointEvery int
-	// MorphOverhead is the downtime of one reconfiguration: stopping
-	// tasks, re-partitioning, loading the checkpoint shards.
-	MorphOverhead simtime.Duration
 	// CheckpointOverhead is the stall per checkpoint (local SSD write;
 	// cloud upload happens in the background, §4.5).
 	CheckpointOverhead simtime.Duration
 	// StragglerThreshold flags a VM whose compute heartbeat exceeds
 	// the fleet median by this factor (§4.6 reports ~30% stutters).
 	StragglerThreshold float64
+	// Policy selects reconfiguration pricing: restart-model based
+	// (with or without the hold option) or the legacy flat constant.
+	Policy MorphPolicy
+	// ConstOverhead is the flat per-morph downtime charged under
+	// PolicyConstant (the paper's ~4-minute figure); ignored by the
+	// modeled policies.
+	ConstOverhead simtime.Duration
+	// EventGapPrior seeds the fleet-event gap estimator before any
+	// gap has been observed — the assumed stable-window length of the
+	// first morph-or-hold decisions. Zero defers to the caller:
+	// core.RunOnSpotMarketOpts seeds it from the market's analytic
+	// hazard (spot.Market.ExpectedNextEvent); a bare RunTimeline falls
+	// back to DefaultEventGapPrior.
+	EventGapPrior simtime.Duration
 }
 
-// DefaultOptions mirrors the deployment described in the paper.
+// DefaultEventGapPrior is the stable-window assumption used when
+// neither the caller nor a market supplied one.
+const DefaultEventGapPrior = 30 * simtime.Minute
+
+// DefaultOptions mirrors the deployment described in the paper, with
+// reconfiguration downtime priced by the restart cost model rather
+// than the paper's flat 4-minute constant.
 func DefaultOptions() Options {
 	return Options{
 		CheckpointEvery:    8,
-		MorphOverhead:      4 * simtime.Minute,
 		CheckpointOverhead: 15 * simtime.Second,
 		StragglerThreshold: 1.20,
+		Policy:             PolicyMorphOrHold,
+		ConstOverhead:      4 * simtime.Minute,
 	}
 }
 
@@ -76,8 +127,13 @@ type TimelinePoint struct {
 	// ExPerSec is the whole-job throughput of the running segment.
 	ExPerSec float64
 	// Event labels what happened: "morph", "p" (replacement without
-	// config change, as in Figure 8), "checkpoint", "down", "".
+	// config change, as in Figure 8), "hold" (fleet changed but the
+	// cost-aware decision kept the running config), "checkpoint",
+	// "down", "".
 	Event string
+	// Downtime is the reconfiguration downtime charged at this event
+	// (zero for hold/checkpoint/down points).
+	Downtime simtime.Duration
 }
 
 // Stats summarizes a timeline run — the aggregate counters behind the
@@ -99,8 +155,16 @@ type Stats struct {
 	LostMiniBatches int
 	// StragglersExcluded counts VMs removed for fail-stutter.
 	StragglersExcluded int
-	// Downtime is time spent not training (morphing, restarting).
+	// Holds counts fleet changes where the cost-aware decision kept
+	// the current configuration running instead of morphing.
+	Holds int
+	// Downtime is time spent not training (morphing, restarting,
+	// checkpoint stalls).
 	Downtime simtime.Duration
+	// MorphDowntime is the reconfiguration share of Downtime —
+	// stop + flush + redistribution + restart (or the flat constant
+	// under PolicyConstant), excluding checkpoint stalls.
+	MorphDowntime simtime.Duration
 }
 
 // Manager replays a spot-market event trace against a testbed-backed
@@ -117,6 +181,11 @@ type Manager struct {
 	// (spec, p, m, d) cost cache and the per-fleet-size decision memo
 	// that make repeated sweeps across the Figure-8 timeline cheap.
 	Plan *autoconfig.Planner
+	// RM prices each reconfiguration from checkpoint bytes, the P×D
+	// shape delta and the cluster fabric (internal/restart). Built for
+	// the job's spec on the testbed's cluster by New; replace before a
+	// run to model different hardware.
+	RM *restart.Model
 
 	rng *simtime.Rand
 }
@@ -130,7 +199,16 @@ func New(in autoconfig.Inputs, tb *testbed.Testbed, opts Options, seed int64) *M
 // Planner. Callers that keep a job-lifetime Planner (core.Job) pass it
 // here so cache state survives across timeline replays.
 func NewWithPlanner(in autoconfig.Inputs, tb *testbed.Testbed, plan *autoconfig.Planner, opts Options, seed int64) *Manager {
-	return &Manager{In: in, TB: tb, Opts: opts, Plan: plan, rng: simtime.NewRand(seed)}
+	rm := restart.NewModel(in.Spec, tb.Cluster)
+	// Ground state redistribution in the testbed's own fabric, not a
+	// parallel reconstruction of its contention rule: if the testbed's
+	// network model is ever tuned, the restart price moves with it.
+	rm.Fabric = tb.Fabric
+	return &Manager{
+		In: in, TB: tb, Opts: opts, Plan: plan,
+		RM:  rm,
+		rng: simtime.NewRand(seed),
+	}
 }
 
 // vmInfo tracks one live VM.
@@ -153,6 +231,10 @@ type timelineRun struct {
 	hz     simtime.Time
 	q      simtime.EventQueue
 	onStep func(a, b int32)
+	// gaps estimates the time to the next fleet event from the events
+	// already applied — the spot-derived horizon of each morph-or-hold
+	// decision.
+	gaps *spot.GapEstimator
 
 	points  []TimelinePoint
 	stats   Stats
@@ -184,8 +266,8 @@ func (r *timelineRun) usableGPUs() int {
 }
 
 // flagStragglers runs the fail-stutter detector over simulated
-// compute heartbeats.
-func (r *timelineRun) flagStragglers() {
+// compute heartbeats and reports how many VMs it newly excluded.
+func (r *timelineRun) flagStragglers() int {
 	hb := make(map[int]float64, len(r.live))
 	for id, vm := range r.live {
 		if vm.slow {
@@ -193,30 +275,90 @@ func (r *timelineRun) flagStragglers() {
 		}
 		hb[id] = vm.speed * (1 + 0.02*r.mg.rng.NormFloat64())
 	}
-	for _, id := range DetectStragglers(hb, r.mg.Opts.StragglerThreshold) {
+	flagged := DetectStragglers(hb, r.mg.Opts.StragglerThreshold)
+	for _, id := range flagged {
 		r.live[id].slow = true
 		r.stats.StragglersExcluded++
 	}
+	return len(flagged)
 }
 
-// morph reconfigures to the current usable fleet. Fleet sizes are
-// quantized (rounded down, ~2% steps) before the sweep: a one-GPU
-// delta never changes the best configuration materially, and
-// quantization keeps the Planner's decision memo hot across the
-// constant single-VM churn of a spot fleet.
-func (r *timelineRun) morph(label string) {
-	r.flagStragglers()
+// morph reacts to a fleet change. Fleet sizes are quantized (rounded
+// down, ~2% steps) before the sweep: a one-GPU delta never changes the
+// best configuration materially, and quantization keeps the Planner's
+// decision memo hot across the constant single-VM churn of a spot
+// fleet.
+//
+// Downtime is priced by the restart cost model (stop + checkpoint
+// flush + state redistribution + process restart) — or the legacy
+// constant under PolicyConstant — and under PolicyMorphOrHold a
+// voluntary reconfiguration that would not pay for itself before the
+// next expected fleet event is declined and the job keeps training in
+// its current shape. forced marks fleet changes the running config
+// cannot survive (a preemption broke a pipeline): those always
+// restart. A freshly flagged fail-stutter VM forces a restart the same
+// way — excluding a straggler from a running pipeline IS a
+// reconfiguration, so holding through one would credit the exclusion
+// for free.
+func (r *timelineRun) morph(label string, forced bool) {
+	if r.flagStragglers() > 0 {
+		forced = true
+	}
 	g := r.usableGPUs()
 	if q := g / 50; q > 0 {
 		g -= g % (q + 1)
 	}
-	r.stats.Downtime += r.mg.Opts.MorphOverhead
-	r.now = r.now.Add(r.mg.Opts.MorphOverhead)
-	choice, err := r.mg.Plan.Best(g)
+	// Work completed since the last checkpoint must be flushed before
+	// state can move; a preemption path arrives with sinceCkpt already
+	// rolled back to 0, so nothing (spurious) is flushed there.
+	dirty := r.running && r.sinceCkpt > 0
+
+	var choice autoconfig.Choice
+	var down simtime.Duration
+	var err error
+	switch {
+	case r.mg.Opts.Policy == PolicyConstant:
+		choice, err = r.mg.Plan.Best(g)
+		down = r.mg.Opts.ConstOverhead
+	case r.mg.Opts.Policy == PolicyMorphOrHold && r.running && !forced:
+		var dec autoconfig.MorphDecision
+		dec, err = r.mg.Plan.BestOrHold(g, r.current, true, r.mg.RM, r.gaps.Expected(), dirty)
+		if err == nil && !dec.Morph {
+			r.stats.Holds++
+			r.points = append(r.points, TimelinePoint{
+				At: r.now, GPUs: g, Config: r.current,
+				ExPerSec: r.exCache[[2]int{r.current.P, r.current.D}],
+				Event:    "hold",
+			})
+			return
+		}
+		choice, down = dec.Choice, dec.Costs.Total()
+	default:
+		// PolicyModeled, a cold start, or a forced restart: morph to
+		// the sweep's best and charge the modeled price.
+		choice, err = r.mg.Plan.Best(g)
+		if err == nil {
+			var old restart.Assignment
+			if r.running {
+				old = restart.Assignment{Stages: r.current.Stages, D: r.current.D}
+			}
+			down = r.mg.RM.Price(old, restart.Assignment{Stages: choice.Stages, D: choice.D}, dirty).Total()
+		}
+	}
 	if err != nil {
 		r.running = false
 		r.points = append(r.points, TimelinePoint{At: r.now, GPUs: g, Event: "down"})
 		return
+	}
+	r.stats.Downtime += down
+	r.stats.MorphDowntime += down
+	r.now = r.now.Add(down)
+	if dirty {
+		// The morph's flush persisted everything since the last
+		// checkpoint (that is what the Flush phase priced, and what the
+		// constant's bundled overhead always included): the new segment
+		// resumes from this mini-batch boundary, not the old cadence.
+		r.sinceCkpt = 0
 	}
 	if r.running && choice.P == r.current.P && choice.D == r.current.D {
 		label = "p" // replacement, no config change (Figure 8)
@@ -248,7 +390,8 @@ func (r *timelineRun) morph(label string) {
 	}
 	r.mbTime = r.mbCache[key]
 	r.points = append(r.points, TimelinePoint{
-		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCache[key], Event: label,
+		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCache[key],
+		Event: label, Downtime: down,
 	})
 }
 
@@ -288,6 +431,7 @@ func (r *timelineRun) step(int32, int32) {
 	fleetChanged := false
 	preempted := false
 	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
+		r.gaps.Observe(r.events[r.evIdx].At)
 		pre := r.applyEvent(r.events[r.evIdx])
 		preempted = preempted || pre
 		fleetChanged = true
@@ -301,7 +445,7 @@ func (r *timelineRun) step(int32, int32) {
 		r.sinceCkpt = 0
 	}
 	if fleetChanged || !r.running {
-		r.morph("morph")
+		r.morph("morph", preempted)
 		if !r.running {
 			// Nothing usable: fast-forward to the next event.
 			if r.evIdx < len(r.events) {
@@ -347,10 +491,15 @@ func (r *timelineRun) step(int32, int32) {
 // whole timeline (and across timelines, if the caller shares one
 // Planner between runs).
 func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([]TimelinePoint, Stats, error) {
+	prior := mg.Opts.EventGapPrior
+	if prior <= 0 {
+		prior = DefaultEventGapPrior
+	}
 	r := &timelineRun{
 		mg:      mg,
 		events:  events,
 		hz:      simtime.Time(horizon),
+		gaps:    spot.NewGapEstimator(prior),
 		live:    make(map[int]*vmInfo),
 		mbCache: make(map[[2]int]simtime.Duration),
 		exCache: make(map[[2]int]float64),
@@ -371,6 +520,12 @@ func (o Options) Validate() error {
 	}
 	if o.StragglerThreshold <= 1 {
 		return fmt.Errorf("manager: StragglerThreshold must exceed 1")
+	}
+	if o.Policy < PolicyMorphOrHold || o.Policy > PolicyConstant {
+		return fmt.Errorf("manager: unknown morph policy %d", int(o.Policy))
+	}
+	if o.Policy == PolicyConstant && o.ConstOverhead <= 0 {
+		return fmt.Errorf("manager: PolicyConstant needs ConstOverhead > 0")
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/autoconfig"
@@ -55,9 +56,26 @@ func TestOptionsValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Fatal("threshold<1 must fail")
 	}
+	bad = DefaultOptions()
+	bad.Policy = MorphPolicy(9)
+	if bad.Validate() == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	bad = DefaultOptions()
+	bad.Policy = PolicyConstant
+	bad.ConstOverhead = 0
+	if bad.Validate() == nil {
+		t.Fatal("constant policy without an overhead must fail")
+	}
 }
 
 func managerFor(t *testing.T) *Manager {
+	return managerWith(t, DefaultOptions(), nil)
+}
+
+// managerWith builds a manager with explicit options and, when plan is
+// non-nil, a caller-supplied Planner.
+func managerWith(t *testing.T, opts Options, plan *autoconfig.Planner) *Manager {
 	t.Helper()
 	cluster := hw.SpotCluster(hw.NC6v3, 150)
 	tb := testbed.New(cluster, 31)
@@ -81,7 +99,11 @@ func managerFor(t *testing.T) *Manager {
 		MTotal:      8192,
 		GPUsPerNode: 1,
 	}
-	return New(in, tb, DefaultOptions(), 77)
+	if plan == nil {
+		return New(in, tb, opts, 77)
+	}
+	plan.SetInputs(in)
+	return NewWithPlanner(in, tb, plan, opts, 77)
 }
 
 func TestRunTimelineMorphsWithFleet(t *testing.T) {
@@ -179,6 +201,82 @@ func TestPreemptionRollsBackToCheckpoint(t *testing.T) {
 	}
 	if stats.Examples <= 0 {
 		t.Fatal("training made no progress")
+	}
+}
+
+// TestTimelineCappedPlannerBitIdentical is the eviction golden test at
+// system level: replaying a 24-hour morphing timeline through a
+// Planner with pathologically tight cache bounds must reproduce the
+// default-planner timeline bit for bit — eviction may only cost
+// recomputation, never change a decision.
+func TestTimelineCappedPlannerBitIdentical(t *testing.T) {
+	run := func(plan *autoconfig.Planner) ([]TimelinePoint, Stats) {
+		mg := managerWith(t, DefaultOptions(), plan)
+		mk := spot.NewMarket(1, 120, 99)
+		events := spot.EventTrace(mk, 150, 24*simtime.Hour, 10*simtime.Minute)
+		points, stats, err := mg.RunTimeline(events, 24*simtime.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points, stats
+	}
+	wantPoints, wantStats := run(nil)
+	tight := autoconfig.NewPlannerCapped(autoconfig.Inputs{}, 2, 1)
+	gotPoints, gotStats := run(tight)
+	if gotStats != wantStats {
+		t.Fatalf("capped planner changed stats:\nwant %+v\ngot  %+v", wantStats, gotStats)
+	}
+	if len(gotPoints) != len(wantPoints) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(wantPoints), len(gotPoints))
+	}
+	for i := range wantPoints {
+		if !reflect.DeepEqual(wantPoints[i], gotPoints[i]) {
+			t.Fatalf("point %d diverged:\nwant %+v\ngot  %+v", i, wantPoints[i], gotPoints[i])
+		}
+	}
+	ts := tight.Stats()
+	if ts.CostEvictions == 0 || ts.DecisionEvictions == 0 {
+		t.Fatalf("tight caps must rotate across a 24h timeline: %+v", ts)
+	}
+}
+
+// TestPolicyDowntimeOrdering replays one trace under all three pricing
+// policies: modeled pricing must undercut the flat 4-minute constant
+// on this small model, and morph-or-hold must hold at least once and
+// never reconfigure longer than always-morphing.
+func TestPolicyDowntimeOrdering(t *testing.T) {
+	run := func(p MorphPolicy) Stats {
+		opts := DefaultOptions()
+		opts.Policy = p
+		mg := managerWith(t, opts, nil)
+		mk := spot.NewMarket(1, 120, 55)
+		events := spot.EventTrace(mk, 150, 12*simtime.Hour, 10*simtime.Minute)
+		_, stats, err := mg.RunTimeline(events, 12*simtime.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	constant := run(PolicyConstant)
+	modeled := run(PolicyModeled)
+	hold := run(PolicyMorphOrHold)
+	if constant.Holds != 0 || modeled.Holds != 0 {
+		t.Fatalf("only morph-or-hold may hold: constant %d, modeled %d", constant.Holds, modeled.Holds)
+	}
+	if hold.Holds == 0 {
+		t.Fatal("a 12h spot trace must produce at least one hold decision")
+	}
+	if modeled.MorphDowntime >= constant.MorphDowntime {
+		t.Fatalf("modeled reconfiguration %v must undercut the 4-minute constant's %v",
+			modeled.MorphDowntime, constant.MorphDowntime)
+	}
+	if hold.MorphDowntime >= modeled.MorphDowntime {
+		t.Fatalf("morph-or-hold %v must undercut always-morph %v", hold.MorphDowntime, modeled.MorphDowntime)
+	}
+	for _, s := range []Stats{constant, modeled, hold} {
+		if s.MorphDowntime > s.Downtime {
+			t.Fatalf("reconfiguration downtime %v exceeds total %v", s.MorphDowntime, s.Downtime)
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package restart
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StateFile is the planner-state file written alongside the §4.5
+// checkpoint. A manager restart that finds it resumes with warm morph
+// decisions instead of paying a cold re-sweep.
+const StateFile = "planner-state.json"
+
+// StateCarrier is anything that can snapshot its internal caches to
+// bytes and restore them — implemented by autoconfig.Planner. The
+// carrier owns the format; this package owns durability (atomic
+// write-then-rename next to the checkpoint, like the manifest).
+type StateCarrier interface {
+	ExportState() ([]byte, error)
+	ImportState(data []byte) error
+}
+
+// SaveState snapshots c into dir/planner-state.json. The write is
+// atomic (temp file + rename) so a crash mid-save leaves the previous
+// state intact — the same discipline the checkpoint manifest uses.
+func SaveState(dir string, c StateCarrier) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	data, err := c.ExportState()
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	path := filepath.Join(dir, StateFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores c from dir/planner-state.json. ok is false (with
+// no error) when no state was ever saved — a genuinely cold start.
+func LoadState(dir string, c StateCarrier) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateFile))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("restart: %w", err)
+	}
+	if err := c.ImportState(data); err != nil {
+		return false, fmt.Errorf("restart: %w", err)
+	}
+	return true, nil
+}

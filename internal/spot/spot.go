@@ -106,6 +106,82 @@ func (mk *Market) PreemptionHazard(t simtime.Time) float64 {
 // Held reports the GPUs currently allocated from this market.
 func (mk *Market) Held() int { return mk.held }
 
+// ExpectedNextEvent reports the analytic expected time until the next
+// fleet event for a job holding vms VMs at time t: the superposition
+// of the per-VM preemption hazards. It is the market's own estimate of
+// the stable-window length a reconfiguration's cost must amortize over
+// — the horizon the morph-or-hold decision discounts throughput gains
+// by. Allocation arrivals shorten real windows further, so this is an
+// optimistic (upper) bound; the manager's empirical GapEstimator
+// tracks the realized gaps instead.
+func (mk *Market) ExpectedNextEvent(t simtime.Time, vms int) simtime.Duration {
+	if vms < 1 {
+		vms = 1
+	}
+	perHour := mk.PreemptionHazard(t) * float64(vms)
+	if perHour <= 0 {
+		return mk.MeanHold
+	}
+	return simtime.Duration(float64(simtime.Hour) / perHour)
+}
+
+// GapEstimator tracks the observed inter-arrival gaps of fleet events
+// (allocations and preemptions, batched per instant) as an EWMA. The
+// §4.6 manager feeds it every fleet change it applies and reads back
+// the expected time to the next one — the spot-derived horizon of each
+// morph-or-hold decision. Deterministic: the estimate is a pure
+// function of the observed event times.
+type GapEstimator struct {
+	// Alpha is the EWMA weight of the newest gap (0 < Alpha <= 1).
+	Alpha float64
+	// Prior seeds the estimate before two events have been seen.
+	Prior simtime.Duration
+
+	last    simtime.Time
+	haveOne bool
+	mean    float64
+	n       int
+}
+
+// NewGapEstimator builds an estimator with the given prior and the
+// default smoothing (alpha 0.25: responsive to load-cycle swings,
+// stable against one-off bursts).
+func NewGapEstimator(prior simtime.Duration) *GapEstimator {
+	return &GapEstimator{Alpha: 0.25, Prior: prior}
+}
+
+// Observe records that a fleet event (or a batch of simultaneous
+// events) happened at t. Repeated observations at the same instant
+// collapse into one.
+func (e *GapEstimator) Observe(t simtime.Time) {
+	if e.haveOne && t == e.last {
+		return
+	}
+	if e.haveOne {
+		gap := float64(t.Sub(e.last))
+		if e.n == 0 {
+			e.mean = gap
+		} else {
+			e.mean += e.Alpha * (gap - e.mean)
+		}
+		e.n++
+	}
+	e.last = t
+	e.haveOne = true
+}
+
+// Expected reports the estimated time to the next fleet event: the
+// EWMA of observed gaps, or the prior before any gap has been seen.
+func (e *GapEstimator) Expected() simtime.Duration {
+	if e.n == 0 {
+		return e.Prior
+	}
+	return simtime.Duration(e.mean + 0.5)
+}
+
+// Observations reports how many gaps the estimate is built on.
+func (e *GapEstimator) Observations() int { return e.n }
+
 // Sample is one point of an availability trace.
 type Sample struct {
 	At   simtime.Time

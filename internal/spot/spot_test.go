@@ -141,3 +141,56 @@ func TestEventKindString(t *testing.T) {
 		t.Fatal("event string empty")
 	}
 }
+
+func TestGapEstimator(t *testing.T) {
+	e := NewGapEstimator(30 * simtime.Minute)
+	if e.Expected() != 30*simtime.Minute {
+		t.Fatalf("no observations must return the prior, got %v", e.Expected())
+	}
+	// Simultaneous events collapse into one observation.
+	e.Observe(0)
+	e.Observe(0)
+	if e.Observations() != 0 || e.Expected() != 30*simtime.Minute {
+		t.Fatalf("one instant is no gap: n=%d expected=%v", e.Observations(), e.Expected())
+	}
+	// A steady 10-minute cadence converges to a 10-minute estimate.
+	for i := 1; i <= 50; i++ {
+		e.Observe(simtime.Time(i) * simtime.Time(10*simtime.Minute))
+	}
+	if e.Observations() != 50 {
+		t.Fatalf("observations = %d, want 50", e.Observations())
+	}
+	got := e.Expected()
+	if got != 10*simtime.Minute {
+		t.Fatalf("constant 10min gaps must estimate exactly 10min, got %v", got)
+	}
+	// A burst of rapid events pulls the estimate down, but EWMA keeps
+	// it above the raw burst gap.
+	last := simtime.Time(50) * simtime.Time(10*simtime.Minute)
+	for i := 1; i <= 5; i++ {
+		e.Observe(last.Add(simtime.Duration(i) * simtime.Minute))
+	}
+	after := e.Expected()
+	if after >= got || after <= simtime.Minute {
+		t.Fatalf("burst must pull %v below %v but stay above the 1min gap", after, got)
+	}
+}
+
+func TestExpectedNextEvent(t *testing.T) {
+	mk := NewMarket(1, 200, 7)
+	one := mk.ExpectedNextEvent(0, 1)
+	if one <= 0 {
+		t.Fatalf("expected next event %v must be positive", one)
+	}
+	hundred := mk.ExpectedNextEvent(0, 100)
+	if hundred >= one {
+		t.Fatalf("100 VMs (%v) must see events sooner than 1 VM (%v)", hundred, one)
+	}
+	// Superposition: n times the hazard means 1/n the wait.
+	if ratio := float64(one) / float64(hundred); ratio < 99 || ratio > 101 {
+		t.Fatalf("hazard superposition off: ratio %.2f, want ~100", ratio)
+	}
+	if mk.ExpectedNextEvent(0, 0) != one {
+		t.Fatal("vms < 1 must clamp to 1")
+	}
+}
