@@ -8,6 +8,13 @@
 //	varuna-bench -exp fig4          # run one experiment
 //	varuna-bench -parallel 0        # fan experiments across all cores
 //	varuna-bench -json out/         # write BENCH_<id>.json timing reports
+//	varuna-bench -exp planner -cpuprofile cpu.pprof   # profile a hot path
+//
+// -cpuprofile and -memprofile write pprof profiles of the run — the
+// same binary the CI perf gate (varuna-benchdiff) executes, so a
+// wall_ms regression flagged there can be diagnosed directly:
+//
+//	go tool pprof cpu.pprof
 //
 // With -parallel != 1 (0 means GOMAXPROCS) experiments run against
 // isolated job caches; tables still print in registry order. The
@@ -28,31 +35,57 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
+// main defers to run so profile-flushing defers execute before the
+// process exits (os.Exit skips them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exp := flag.String("exp", "", "run a single experiment by id")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (1 runs serially with shared calibration; any other value — including 0, meaning GOMAXPROCS — isolates job caches even on one CPU, so jitter-derived numbers can differ from a serial run; see EXPERIMENTS.md)")
 	jsonDir := flag.String("json", "", "directory for per-experiment BENCH_<id>.json timing reports (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an end-of-run allocation profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "varuna-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "varuna-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-18s %s\n", e.ID, e.Paper)
 		}
-		return
+		return 0
 	}
-	run := experiments.All()
+	entries := experiments.All()
 	if *exp != "" {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "varuna-bench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
-		run = []experiments.Entry{e}
+		entries = []experiments.Entry{e}
 	}
 	// Isolation semantics follow the flag, not the machine: -parallel 0
 	// means "isolated job caches, as parallel as the hardware allows",
@@ -66,12 +99,12 @@ func main() {
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "varuna-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	failed := false
-	reports := experiments.RunEntriesWith(run, experiments.RunOptions{Workers: workers, Isolated: isolated}, func(r experiments.Report) {
+	reports := experiments.RunEntriesWith(entries, experiments.RunOptions{Workers: workers, Isolated: isolated}, func(r experiments.Report) {
 		if !r.OK {
 			failed = true
 			fmt.Fprintf(os.Stderr, "varuna-bench: %s: %s\n", r.ID, r.Error)
@@ -89,7 +122,22 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// writeMemProfile dumps the allocation profile at the end of the run.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "varuna-bench: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle the live heap so retained allocations are visible
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "varuna-bench: -memprofile: %v\n", err)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/calibrate"
+	"repro/internal/gen2"
 	"repro/internal/model"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -120,22 +121,17 @@ func interFlags(p, gpusPerNode int) []bool {
 // deepest feasible depths.
 //
 // On a months-long job the key space grows without bound (one entry
-// per unique (p, m, d)), so the cache is generation-bounded: entries
-// live in a current and a previous generation of at most cap keys
-// each. Lookups check both (promoting previous-generation hits); when
-// the current generation fills, it becomes the previous one and the
-// old previous generation is dropped. Recently-touched keys therefore
-// always survive — segmented-LRU behavior without per-entry
-// bookkeeping — and since every cached value is deterministic in its
-// key, eviction can only cost recomputation, never change results.
+// per unique (p, m, d)), so the cache is generation-bounded behind a
+// gen2.Map: recently-touched keys always survive — segmented-LRU
+// behavior without per-entry bookkeeping — and since every cached
+// value is deterministic in its key, eviction can only cost
+// recomputation, never change results.
 type costCache struct {
-	mu        sync.Mutex
-	cap       int // per-generation key bound; <= 0 is unbounded
-	cur, prev map[costKey]*costEntry
+	mu sync.Mutex
+	m  *gen2.Map[costKey, *costEntry]
 
 	hits, misses             atomic.Uint64
 	costComputes, simAnchors atomic.Uint64
-	rotations                atomic.Uint64
 }
 
 // costKey scopes entries to the model being planned for: a Planner
@@ -161,10 +157,7 @@ func newCostCache(sizeHint int) *costCache { return newCostCacheCap(sizeHint, 0)
 // newCostCacheCap builds a cache bounded to cap keys per generation
 // (cap <= 0 keeps the unbounded per-sweep behavior).
 func newCostCacheCap(sizeHint, cap int) *costCache {
-	if cap > 0 && sizeHint > cap {
-		sizeHint = cap
-	}
-	return &costCache{cap: cap, cur: make(map[costKey]*costEntry, sizeHint)}
+	return &costCache{m: gen2.New[costKey, *costEntry](cap, sizeHint)}
 }
 
 // lookup finds a key in either generation, promoting previous-generation
@@ -172,34 +165,22 @@ func newCostCacheCap(sizeHint, cap int) *costCache {
 func (c *costCache) lookup(key costKey) (*costEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.cur[key]; ok {
-		return e, true
-	}
-	if e, ok := c.prev[key]; ok {
-		c.insertLocked(key, e)
-		return e, true
-	}
-	return nil, false
+	return c.m.Get(key)
 }
 
 // store inserts a freshly computed entry.
 func (c *costCache) store(key costKey, e *costEntry) {
 	c.mu.Lock()
-	c.insertLocked(key, e)
+	c.m.Put(key, e)
 	c.mu.Unlock()
 }
 
-// insertLocked places an entry into the current generation, rotating
-// generations when the bound is hit. Caller holds mu.
-func (c *costCache) insertLocked(key costKey, e *costEntry) {
-	if c.cap > 0 && len(c.cur) >= c.cap {
-		if _, ok := c.cur[key]; !ok {
-			c.prev = c.cur
-			c.cur = make(map[costKey]*costEntry, c.cap)
-			c.rotations.Add(1)
-		}
-	}
-	c.cur[key] = e
+// evictions reports generation rotations (each drops the oldest
+// generation's keys).
+func (c *costCache) evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Rotations()
 }
 
 // snapshot returns every live entry (both generations, current wins),
@@ -207,13 +188,8 @@ func (c *costCache) insertLocked(key costKey, e *costEntry) {
 func (c *costCache) snapshot() map[costKey]*costEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[costKey]*costEntry, len(c.cur)+len(c.prev))
-	for k, e := range c.prev {
-		out[k] = e
-	}
-	for k, e := range c.cur {
-		out[k] = e
-	}
+	out := make(map[costKey]*costEntry, c.m.Len())
+	c.m.Each(func(k costKey, e *costEntry) { out[k] = e })
 	return out
 }
 

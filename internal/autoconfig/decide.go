@@ -5,6 +5,21 @@ import (
 	"repro/internal/simtime"
 )
 
+// Horizon is the spot-derived forecast a morph-or-hold decision
+// discounts throughput gains over: how long until the next fleet
+// event, and whether that event is expected to be another preemption
+// (spot.GapEstimator.NextKind). The kind matters because a predicted
+// preemption ends the stable window with a forced restart that
+// re-prices everything anyway — and preemptions cluster when the
+// provider reclaims capacity, so the pooled EWMA gap overstates the
+// window a voluntary morph's gain can amortize over.
+type Horizon struct {
+	// Until is the expected time to the next fleet event.
+	Until simtime.Duration
+	// PreemptNext marks the next expected event as a preemption.
+	PreemptNext bool
+}
+
 // MorphDecision is the outcome of a cost-aware BestOrHold evaluation:
 // either reconfigure to Choice and pay Costs of downtime, or hold the
 // current configuration because the morph would not pay for itself
@@ -23,6 +38,9 @@ type MorphDecision struct {
 	// Horizon is the expected time until the next fleet event the
 	// decision discounted the gain over.
 	Horizon simtime.Duration
+	// PreemptNext records whether the decision treated the next fleet
+	// event as a likely preemption (and so discounted the gain window).
+	PreemptNext bool
 }
 
 // BestOrHold is the cost-aware variant of Best: given the currently
@@ -38,15 +56,21 @@ type MorphDecision struct {
 //	gain × max(0, horizon − downtime)  ≤  cur_throughput × downtime
 //
 // i.e. when modeled downtime exceeds the discounted steady-state gain.
-// A job that is not running, or whose current shape no longer fits the
-// fleet, always morphs. The underlying Best(g) is memoized as usual,
-// so the added decision work is arithmetic, not simulation.
-func (pl *Planner) BestOrHold(g int, cur Choice, running bool, rm *restart.Model, horizon simtime.Duration, dirty bool) (MorphDecision, error) {
+// When the forecast expects the next fleet event to be another
+// preemption (hz.PreemptNext), the post-downtime gain window is
+// additionally halved before the comparison — a preemption forces a
+// restart that re-prices the configuration anyway, and preemption
+// bursts make the EWMA gap an overestimate of the remaining window —
+// so marginal morphs hold. A job that is not running, or whose current
+// shape no longer fits the fleet, always morphs. The underlying
+// Best(g) is memoized as usual, so the added decision work is
+// arithmetic, not simulation.
+func (pl *Planner) BestOrHold(g int, cur Choice, running bool, rm *restart.Model, hz Horizon, dirty bool) (MorphDecision, error) {
 	best, err := pl.Best(g)
 	if err != nil {
 		return MorphDecision{}, err
 	}
-	dec := MorphDecision{Choice: best, Horizon: horizon}
+	dec := MorphDecision{Choice: best, Horizon: hz.Until, PreemptNext: hz.PreemptNext}
 	if !running || rm == nil {
 		dec.Morph = true
 		if rm != nil {
@@ -69,9 +93,12 @@ func (pl *Planner) BestOrHold(g int, cur Choice, running bool, rm *restart.Model
 		return dec, nil
 	}
 	down := dec.Costs.Total()
-	usable := horizon - down
+	usable := hz.Until - down
 	if usable < 0 {
 		usable = 0
+	}
+	if hz.PreemptNext {
+		usable /= 2
 	}
 	earned := dec.GainPerSec * usable.Seconds()
 	forfeited := cur.TotalExPerSec() * down.Seconds()

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/gen2"
 	"repro/internal/model"
 )
 
@@ -30,10 +31,11 @@ import (
 // evaluation computes (TestPlannerSecondSweepGolden pins this). A
 // Planner is safe for concurrent use.
 //
-// Both caches are generation-bounded (segmented LRU): a months-long
-// job cannot grow them without limit, and because every cached value
-// is deterministic in its key, eviction only ever costs recomputation
-// — never a different decision (TestPlannerCappedBitIdentical here,
+// Both caches are generation-bounded behind gen2.Map (segmented LRU):
+// a months-long job cannot grow them without limit, and because every
+// cached value is deterministic in its key, eviction only ever costs
+// recomputation — never a different decision
+// (TestPlannerCappedBitIdentical here,
 // TestTimelineCappedPlannerBitIdentical at the manager level).
 type Planner struct {
 	mu       sync.Mutex
@@ -41,12 +43,10 @@ type Planner struct {
 	cache    *costCache
 	costCap  int
 	decCap   int
-	decCur   map[int]plannerDecision
-	decPrev  map[int]plannerDecision
+	dec      *gen2.Map[int, plannerDecision]
 	sweeps   uint64
 	decHits  uint64
 	decMiss  uint64
-	decRot   uint64
 	invalids uint64
 }
 
@@ -81,7 +81,7 @@ func NewPlannerCapped(in Inputs, costEntries, decisions int) *Planner {
 		cache:   newCostCacheCap(64, costEntries),
 		costCap: costEntries,
 		decCap:  decisions,
-		decCur:  make(map[int]plannerDecision),
+		dec:     gen2.New[int, plannerDecision](decisions, 0),
 	}
 }
 
@@ -108,8 +108,7 @@ func (pl *Planner) SetInputs(in Inputs) {
 		pl.in.GPUsPerNode == in.GPUsPerNode &&
 		sameCuts(pl.in.Cuts, in.Cuts); !same {
 		pl.cache = newCostCacheCap(64, pl.costCap)
-		pl.decCur = make(map[int]plannerDecision)
-		pl.decPrev = nil
+		pl.dec = gen2.New[int, plannerDecision](pl.decCap, 0)
 		pl.invalids++
 	}
 	pl.in = in
@@ -156,7 +155,7 @@ func (pl *Planner) Evaluate(p, d int) (Choice, error) {
 // replays the stored decision for free.
 func (pl *Planner) Best(g int) (Choice, error) {
 	pl.mu.Lock()
-	if dec, ok := pl.lookupDecisionLocked(g); ok {
+	if dec, ok := pl.dec.Get(g); ok {
 		pl.decHits++
 		pl.mu.Unlock()
 		return dec.choice, dec.err
@@ -167,35 +166,9 @@ func (pl *Planner) Best(g int) (Choice, error) {
 	choice, err := best(g, pl.Sweep)
 
 	pl.mu.Lock()
-	pl.storeDecisionLocked(g, plannerDecision{choice: choice, err: err})
+	pl.dec.Put(g, plannerDecision{choice: choice, err: err})
 	pl.mu.Unlock()
 	return choice, err
-}
-
-// lookupDecisionLocked finds a memoized decision in either generation,
-// promoting previous-generation hits. Caller holds mu.
-func (pl *Planner) lookupDecisionLocked(g int) (plannerDecision, bool) {
-	if dec, ok := pl.decCur[g]; ok {
-		return dec, true
-	}
-	if dec, ok := pl.decPrev[g]; ok {
-		pl.storeDecisionLocked(g, dec)
-		return dec, true
-	}
-	return plannerDecision{}, false
-}
-
-// storeDecisionLocked inserts into the current generation, rotating
-// when the bound is hit. Caller holds mu.
-func (pl *Planner) storeDecisionLocked(g int, dec plannerDecision) {
-	if pl.decCap > 0 && len(pl.decCur) >= pl.decCap {
-		if _, ok := pl.decCur[g]; !ok {
-			pl.decPrev = pl.decCur
-			pl.decCur = make(map[int]plannerDecision, pl.decCap)
-			pl.decRot++
-		}
-	}
-	pl.decCur[g] = dec
 }
 
 // Stats returns a snapshot of the Planner's cache effectiveness.
@@ -208,10 +181,10 @@ func (pl *Planner) Stats() PlannerStats {
 		CostMisses:        pl.cache.misses.Load(),
 		CostComputes:      pl.cache.costComputes.Load(),
 		SimAnchorRuns:     pl.cache.simAnchors.Load(),
-		CostEvictions:     pl.cache.rotations.Load(),
+		CostEvictions:     pl.cache.evictions(),
 		DecisionHits:      pl.decHits,
 		DecisionMisses:    pl.decMiss,
-		DecisionEvictions: pl.decRot,
+		DecisionEvictions: pl.dec.Rotations(),
 		Invalidations:     pl.invalids,
 	}
 }

@@ -226,7 +226,7 @@ func restartModelFor(in Inputs) *restart.Model {
 func TestBestOrHoldColdStartMorphs(t *testing.T) {
 	in := inputsFor(t, model.GPT2XL2B(), 53)
 	pl := NewPlanner(in)
-	dec, err := pl.BestOrHold(100, Choice{}, false, restartModelFor(in), simtime.Hour, false)
+	dec, err := pl.BestOrHold(100, Choice{}, false, restartModelFor(in), Horizon{Until: simtime.Hour}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestBestOrHoldSameShapeHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := pl.BestOrHold(100, cur, true, restartModelFor(in), simtime.Hour, true)
+	dec, err := pl.BestOrHold(100, cur, true, restartModelFor(in), Horizon{Until: simtime.Hour}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestBestOrHoldWeighsHorizon(t *testing.T) {
 		t.Skip("sweep produced no slower alternative to contrast")
 	}
 	rm := restartModelFor(in)
-	long, err := pl.BestOrHold(100, cur, true, rm, 24*simtime.Hour, false)
+	long, err := pl.BestOrHold(100, cur, true, rm, Horizon{Until: 24 * simtime.Hour}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestBestOrHoldWeighsHorizon(t *testing.T) {
 		t.Fatalf("a 24h stable window must justify %v of downtime for +%.1f ex/s", long.Costs.Total(), long.GainPerSec)
 	}
 	down := long.Costs.Total()
-	short, err := pl.BestOrHold(100, cur, true, rm, down/2, false)
+	short, err := pl.BestOrHold(100, cur, true, rm, Horizon{Until: down / 2}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,5 +347,79 @@ func BenchmarkPlannerWarmSweep(b *testing.B) {
 		if _, err := pl.Sweep(128); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestBestOrHoldPreemptForecastHolds: the same marginal morph must go
+// through when the next fleet event is expected to be an allocation,
+// and hold when the forecast says another preemption is coming — the
+// preempt forecast halves the gain window, so a morph that barely pays
+// for itself no longer does.
+func TestBestOrHoldPreemptForecastHolds(t *testing.T) {
+	in := inputsFor(t, model.GPT2XL2B(), 53)
+	pl := NewPlanner(in)
+	best, err := pl.Best(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur Choice
+	found := false
+	sweep, err := pl.Sweep(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sweep {
+		if c.P != best.P && c.TotalExPerSec() < best.TotalExPerSec() {
+			cur, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("sweep produced no slower alternative to contrast")
+	}
+	rm := restartModelFor(in)
+	probe, err := pl.BestOrHold(100, cur, true, rm, Horizon{Until: 24 * simtime.Hour}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probe.Morph {
+		t.Fatal("fixture must morph on a long stable window")
+	}
+	// A window where the morph barely pays for itself: the earned gain
+	// sits at 1.5× the forfeited examples, inside (1×, 2×) so that
+	// halving the gain window flips the decision.
+	down := probe.Costs.Total()
+	marginal := down + simtime.Duration(1.5*cur.TotalExPerSec()*down.Seconds()/probe.GainPerSec*float64(simtime.Second))
+	calm, err := pl.BestOrHold(100, cur, true, rm, Horizon{Until: marginal}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !calm.Morph {
+		t.Fatalf("marginal window %v must morph when no preemption is forecast", marginal)
+	}
+	if calm.PreemptNext {
+		t.Fatal("decision must record PreemptNext = false")
+	}
+	stormy, err := pl.BestOrHold(100, cur, true, rm, Horizon{Until: marginal, PreemptNext: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.Morph {
+		t.Fatalf("marginal window %v must hold when the next event is expected to be a preemption", marginal)
+	}
+	if !stormy.PreemptNext {
+		t.Fatal("decision must record PreemptNext = true")
+	}
+	if stormy.Costs != calm.Costs || stormy.GainPerSec != calm.GainPerSec {
+		t.Fatal("the forecast must change the decision, not the pricing")
+	}
+	// Forced paths ignore the forecast: a fleet the current shape no
+	// longer fits morphs regardless.
+	forced, err := pl.BestOrHold(cur.GPUsUsed-1, cur, true, rm, Horizon{Until: 0, PreemptNext: true}, false)
+	if err != nil {
+		t.Fatalf("BestOrHold(%d): %v", cur.GPUsUsed-1, err)
+	}
+	if !forced.Morph {
+		t.Fatal("a fleet too small for the running shape must always morph")
 	}
 }

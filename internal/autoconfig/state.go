@@ -54,13 +54,8 @@ type DecisionState struct {
 func (pl *Planner) ExportState() ([]byte, error) {
 	pl.mu.Lock()
 	in := pl.in
-	decs := make(map[int]plannerDecision, len(pl.decCur)+len(pl.decPrev))
-	for g, d := range pl.decPrev {
-		decs[g] = d
-	}
-	for g, d := range pl.decCur {
-		decs[g] = d
-	}
+	decs := make(map[int]plannerDecision, pl.dec.Len())
+	pl.dec.Each(func(g int, d plannerDecision) { decs[g] = d })
 	cache := pl.cache
 	pl.mu.Unlock()
 
@@ -139,7 +134,7 @@ func (pl *Planner) ImportState(data []byte) error {
 		if ds.Err != "" {
 			dec.err = errors.New(ds.Err)
 		}
-		pl.storeDecisionLocked(ds.G, dec)
+		pl.dec.Put(ds.G, dec)
 	}
 	return nil
 }

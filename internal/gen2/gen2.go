@@ -1,0 +1,101 @@
+// Package gen2 provides a generation-bounded map: segmented-LRU
+// semantics with two plain maps and no per-entry bookkeeping.
+//
+// Entries live in a current and a previous generation of at most cap
+// keys each. Lookups check both, promoting previous-generation hits
+// into the current one; when an insert would grow the current
+// generation past the bound, the current generation becomes the
+// previous one and the old previous generation is dropped. A key
+// touched within the last cap distinct insertions therefore always
+// survives, and memory stays bounded at 2·cap entries.
+//
+// The Varuna planner keeps two such caches alive for a job's lifetime
+// — the (spec, p, m, d) cost cache and the per-fleet-size decision
+// memo (§4.6 re-decides on every fleet event, and spot churn revisits
+// the same keys constantly). Both caches hold values that are
+// deterministic in their key, which is what makes this eviction scheme
+// safe there: dropping a generation only ever costs recomputation,
+// never a different decision.
+//
+// A Map is not safe for concurrent use; callers that share one across
+// goroutines hold their own lock (both planner caches do).
+package gen2
+
+// Map is a two-generation bounded map. The zero value is not usable;
+// construct with New.
+type Map[K comparable, V any] struct {
+	cap       int // per-generation key bound; <= 0 is unbounded
+	cur, prev map[K]V
+	rotations uint64
+}
+
+// New builds a map bounded to capacity keys per generation
+// (capacity <= 0 is unbounded — a plain map with promote-on-hit
+// semantics). sizeHint pre-sizes the first generation.
+func New[K comparable, V any](capacity, sizeHint int) *Map[K, V] {
+	if capacity > 0 && sizeHint > capacity {
+		sizeHint = capacity
+	}
+	return &Map[K, V]{cap: capacity, cur: make(map[K]V, sizeHint)}
+}
+
+// Get finds a key in either generation, promoting previous-generation
+// hits into the current one (which can rotate).
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if v, ok := m.cur[k]; ok {
+		return v, true
+	}
+	if v, ok := m.prev[k]; ok {
+		m.Put(k, v)
+		return v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts into the current generation. When the bound is reached
+// and k is not already current, the generations rotate: current
+// becomes previous, the old previous generation is dropped, and k
+// starts the fresh current generation.
+func (m *Map[K, V]) Put(k K, v V) {
+	if m.cap > 0 && len(m.cur) >= m.cap {
+		if _, ok := m.cur[k]; !ok {
+			m.prev = m.cur
+			m.cur = make(map[K]V, m.cap)
+			m.rotations++
+		}
+	}
+	m.cur[k] = v
+}
+
+// Len reports the number of live keys across both generations
+// (a key present in both counts once).
+func (m *Map[K, V]) Len() int {
+	n := len(m.cur)
+	for k := range m.prev {
+		if _, ok := m.cur[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Rotations reports how many generation rotations Put has performed —
+// the eviction counter surfaced in planner stats.
+func (m *Map[K, V]) Rotations() uint64 { return m.rotations }
+
+// Each visits every live entry, previous generation first so that a
+// key present in both generations is visited last with its current
+// (authoritative) value. Iteration order within a generation is map
+// order; callers needing determinism sort afterwards.
+func (m *Map[K, V]) Each(f func(K, V)) {
+	for k, v := range m.prev {
+		if _, ok := m.cur[k]; ok {
+			continue
+		}
+		f(k, v)
+	}
+	for k, v := range m.cur {
+		f(k, v)
+	}
+}

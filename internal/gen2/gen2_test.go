@@ -1,0 +1,114 @@
+package gen2
+
+import "testing"
+
+func TestBasicGetPut(t *testing.T) {
+	m := New[int, string](0, 4)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	m.Put(1, "a")
+	m.Put(2, "b")
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Put(1, "a2")
+	if v, _ := m.Get(1); v != "a2" {
+		t.Fatalf("overwrite lost: Get(1) = %q", v)
+	}
+	if m.Rotations() != 0 {
+		t.Fatalf("unbounded map rotated %d times", m.Rotations())
+	}
+}
+
+// TestRotationDropsOldestGeneration pins the segmented-LRU contract:
+// filling the current generation rotates, and a second rotation drops
+// keys untouched since before the first.
+func TestRotationDropsOldestGeneration(t *testing.T) {
+	m := New[int, int](2, 0)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Put(3, 3) // rotation 1: {1,2} -> prev
+	if m.Rotations() != 1 {
+		t.Fatalf("Rotations = %d, want 1", m.Rotations())
+	}
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("key 1 should survive in the previous generation")
+	}
+	// Get(1) promoted 1 into cur = {3,1}. Next insert rotates again.
+	m.Put(4, 4) // rotation 2: {3,1} -> prev, {1,2} dropped
+	if m.Rotations() != 2 {
+		t.Fatalf("Rotations = %d, want 2", m.Rotations())
+	}
+	if _, ok := m.Get(2); ok {
+		t.Fatal("key 2 survived two rotations without a touch")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("recently-touched key %d was evicted", k)
+		}
+	}
+}
+
+// TestPromotionKeepsHotKeysAlive: a key read on every cycle must never
+// be evicted no matter how much cold traffic flows past it.
+func TestPromotionKeepsHotKeysAlive(t *testing.T) {
+	m := New[int, int](4, 0)
+	m.Put(0, 42)
+	for i := 1; i <= 100; i++ {
+		m.Put(i, i)
+		if _, ok := m.Get(0); !ok {
+			t.Fatalf("hot key evicted after %d cold inserts", i)
+		}
+	}
+	if m.Len() > 8 {
+		t.Fatalf("Len = %d exceeds 2·cap", m.Len())
+	}
+}
+
+// TestReinsertExistingKeyAtCapacityDoesNotRotate: overwriting a key
+// already in the full current generation must not evict anything.
+func TestReinsertExistingKeyAtCapacityDoesNotRotate(t *testing.T) {
+	m := New[int, int](2, 0)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Put(2, 22)
+	if m.Rotations() != 0 {
+		t.Fatalf("overwrite at capacity rotated (%d)", m.Rotations())
+	}
+	if v, _ := m.Get(2); v != 22 {
+		t.Fatalf("Get(2) = %d, want 22", v)
+	}
+}
+
+// TestEachVisitsLiveEntriesOnce: Each must yield every live key exactly
+// once with its authoritative value, across both generations.
+func TestEachVisitsLiveEntriesOnce(t *testing.T) {
+	m := New[int, int](2, 0)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Put(3, 3) // {1,2} in prev, {3} in cur
+	m.Put(1, 10)
+	seen := map[int]int{}
+	m.Each(func(k, v int) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("Each visited key %d twice", k)
+		}
+		seen[k] = v
+	})
+	want := map[int]int{1: 10, 2: 2, 3: 3}
+	if len(seen) != len(want) {
+		t.Fatalf("Each visited %v, want %v", seen, want)
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("Each[%d] = %d, want %d", k, seen[k], v)
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+}

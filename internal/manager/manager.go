@@ -321,8 +321,17 @@ func (r *timelineRun) morph(label string, forced bool) {
 		choice, err = r.mg.Plan.Best(g)
 		down = r.mg.Opts.ConstOverhead
 	case r.mg.Opts.Policy == PolicyMorphOrHold && r.running && !forced:
+		hz := autoconfig.Horizon{Until: r.gaps.Expected()}
+		if k, ok := r.gaps.NextKind(); ok && k == spot.Preempt {
+			hz.PreemptNext = true
+			// Mid-burst the pooled gap overstates the stable window:
+			// the preemption track's own cadence is the tighter bound.
+			if pre := r.gaps.ExpectedOf(spot.Preempt); pre < hz.Until {
+				hz.Until = pre
+			}
+		}
 		var dec autoconfig.MorphDecision
-		dec, err = r.mg.Plan.BestOrHold(g, r.current, true, r.mg.RM, r.gaps.Expected(), dirty)
+		dec, err = r.mg.Plan.BestOrHold(g, r.current, true, r.mg.RM, hz, dirty)
 		if err == nil && !dec.Morph {
 			r.stats.Holds++
 			r.points = append(r.points, TimelinePoint{
@@ -431,7 +440,7 @@ func (r *timelineRun) step(int32, int32) {
 	fleetChanged := false
 	preempted := false
 	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
-		r.gaps.Observe(r.events[r.evIdx].At)
+		r.gaps.ObserveKind(r.events[r.evIdx].At, r.events[r.evIdx].Kind)
 		pre := r.applyEvent(r.events[r.evIdx])
 		preempted = preempted || pre
 		fleetChanged = true

@@ -83,22 +83,23 @@ func RunChunked(cfg Config, chunk int, gen func(depth, micros int) (*schedule.Sc
 	return total, nil
 }
 
-// EstimateMakespan predicts the mini-batch time of cfg, exploiting the
-// pipeline's steady state to stay fast for large micro-batch counts:
-// beyond Nm = 8·P the schedule is periodic, so the simulator runs two
-// anchor points (4·P and 8·P micro-batches) and extrapolates linearly.
-// This keeps Varuna's auto-configuration sweep at sub-second cost per
-// configuration regardless of batch size — the §7.2 requirement that
-// the simulator "react to change in spot VM availability" in hundreds
-// of milliseconds.
+// EstimateMakespan predicts the mini-batch time of cfg.
 //
-// When the configuration is deterministic (no jitter source), the two
-// anchor simulations run concurrently: the deepest candidate of a
-// morph sweep is the sweep's critical path (its anchors are the
-// largest Nm), so splitting them across cores cuts morph decision
-// latency without changing the result — each anchor is an independent
-// mean-parameter simulation, and the extrapolation is bit-identical to
-// the serial evaluation order.
+// Deterministic configurations (no jitter source) are exact: the
+// steady-state cycle detector (steadystate.go) makes a full-Nm run
+// cost O(warm-up + drain) events regardless of Nm, so the estimate is
+// the bit-exact makespan a brute-force simulation of all Nm
+// micro-batches produces — no extrapolation error. This keeps Varuna's
+// auto-configuration sweep at sub-second cost per configuration for
+// any batch size, the §7.2 requirement that the simulator "react to
+// change in spot VM availability" in hundreds of milliseconds.
+//
+// Jittered configurations keep the two-anchor path: beyond Nm = 8·P
+// the schedule is periodic in expectation, so the simulator runs two
+// anchor points (4·P and 8·P micro-batches) and extrapolates linearly.
+// The anchors run concurrently when the configuration is deterministic
+// but has the detector disabled (a shared jitter source would race and
+// reorder its draws, so jittered anchors stay serial).
 func EstimateMakespan(cfg Config) (simtime.Duration, error) {
 	return estimateMakespan(cfg, true)
 }
@@ -112,6 +113,18 @@ func estimateMakespan(cfg Config, parallel bool) (simtime.Duration, error) {
 	// Estimation only needs the makespan: always take the no-trace
 	// fast path, whatever the caller's Config says.
 	cfg.CollectTrace = false
+	if steadyStateEligible(&cfg) {
+		// The cycle detector can arm, making the full-Nm run cheap:
+		// return the exact makespan instead of an extrapolation. A
+		// deterministic config the detector must refuse (the
+		// strict-opportunistic hybrid) stays on the anchor path below —
+		// exactness there would cost a full O(Nm) event-driven run.
+		res, err := Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
 	anchor := 8 * cfg.Depth
 	if cfg.Micros <= anchor || cfg.Micros < 16 {
 		res, err := Run(cfg)

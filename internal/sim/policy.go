@@ -34,16 +34,10 @@ func (e *executor) tryRule(st *stageState, now simtime.Time) {
 	}
 
 	// Rule 3: prefer a ready backward (lowest micro first — gradients
-	// arrive in order).
-	for m := 0; m < e.cfg.Micros; m++ {
-		if st.bwdDone[m] {
-			continue
-		}
-		if e.backwardReady(st, m, now) {
-			e.start(st, schedule.Task{Kind: schedule.Backward, Micro: m}, now, e.syncExtra(st, schedule.Task{Kind: schedule.Backward}))
-			return
-		}
-		break // only the lowest outstanding backward can be next
+	// arrive in order, and bwdLow tracks the lowest outstanding one).
+	if m := st.bwdLow; m < e.cfg.Micros && e.backwardReady(st, m, now) {
+		e.start(st, schedule.Task{Kind: schedule.Backward, Micro: m}, now, e.syncExtra(st, schedule.Task{Kind: schedule.Backward}))
+		return
 	}
 
 	// Rule 1: just-in-time recompute for the next due backward. The
@@ -120,11 +114,11 @@ func (e *executor) scaled(d simtime.Duration, stage int) simtime.Duration {
 }
 
 // nextBackward reports the lowest micro-batch still awaiting backward.
+// The bwdLow cursor is maintained on every backward completion, so
+// this is O(1) regardless of how many micro-batches are already done.
 func (e *executor) nextBackward(st *stageState) int {
-	for m := 0; m < e.cfg.Micros; m++ {
-		if !st.bwdDone[m] {
-			return m
-		}
+	if st.bwdLow < e.cfg.Micros {
+		return st.bwdLow
 	}
 	return -1
 }

@@ -90,6 +90,12 @@ type Config struct {
 	// summary metrics (Makespan, PipelineSpan, StageEnds, BubbleFrac)
 	// are identical with the trace on or off.
 	CollectTrace bool
+	// DisableSteadyState turns off the steady-state cycle detector
+	// (steadystate.go), forcing every deterministic run through full
+	// event-by-event execution. The detector is bit-identical to brute
+	// force by construction (and pinned so by the golden tests), so
+	// this knob exists for those tests and for debugging, not tuning.
+	DisableSteadyState bool
 }
 
 // TaskSpan is one executed task in the trace.
@@ -147,6 +153,8 @@ type stageState struct {
 	orderDone []bool // strict mode: executed order entries (incl. pulled-forward)
 	hasRec    []bool // strict mode: order contains a recompute for micro m
 	bwdLeft   int
+	bwdLow    int // lowest micro not yet backwarded (cursor over bwdDone)
+	fwdHi     int // 1 + highest micro forwarded so far
 	busySum   simtime.Duration
 	lastBwd   simtime.Time
 	wakeAt    simtime.Time // pending scheduled wake (dedupe)
@@ -163,38 +171,60 @@ type executor struct {
 	stages []stageState
 	trace  []TaskSpan
 	opport int
+	ss     steadyState
 
 	timeBuf  []simtime.Time
 	boolBuf  []bool
 	orderBuf []bool
 
-	onTry, onComplete, onActArrive, onGradArrive, onWake func(a, b int32)
+	onEvent func(a, b int32)
+	onShift func(a, b int32) (int32, int32)
 }
+
+// Event kinds on the executor's single dispatch callback. The kind
+// rides in the high bits of the first argument (evA) so that pending
+// events are self-describing: the steady-state detector can both
+// fingerprint the queue and shift the micro indices buried in event
+// arguments when it fast-forwards whole periods.
+const (
+	evTry int32 = iota
+	evComplete
+	evActArrive
+	evGradArrive
+	evWake
+)
+
+// evA packs an event kind and a stage index into the first callback
+// argument (validate bounds Depth below 1<<16).
+func evA(kind int32, stage int) int32 { return kind<<16 | int32(stage) }
 
 var execPool = sync.Pool{New: func() any { return newExecutor() }}
 
 func newExecutor() *executor {
 	e := &executor{}
-	e.onTry = func(s, _ int32) { e.try(int(s)) }
-	e.onComplete = func(s, packed int32) {
-		t := schedule.Task{Kind: schedule.Kind(packed >> 24), Micro: int(packed & (1<<24 - 1))}
-		e.complete(&e.stages[s], t, e.q.Now())
-	}
-	e.onActArrive = func(s, m int32) {
-		e.stages[s].actArrival[m] = e.q.Now()
-		e.try(int(s))
-	}
-	e.onGradArrive = func(s, m int32) {
-		e.stages[s].gradArrival[m] = e.q.Now()
-		e.try(int(s))
-	}
-	e.onWake = func(s, _ int32) {
-		st := &e.stages[s]
-		if st.wakeAt == e.q.Now() {
-			st.wakeAt = never
+	e.onEvent = func(a, b int32) {
+		s := int(a & (1<<16 - 1))
+		switch a >> 16 {
+		case evTry:
+			e.try(s)
+		case evComplete:
+			t := schedule.Task{Kind: schedule.Kind(b >> 24), Micro: int(b & (1<<24 - 1))}
+			e.complete(&e.stages[s], t, e.q.Now())
+		case evActArrive:
+			e.stages[s].actArrival[b] = e.q.Now()
+			e.try(s)
+		case evGradArrive:
+			e.stages[s].gradArrival[b] = e.q.Now()
+			e.try(s)
+		case evWake:
+			st := &e.stages[s]
+			if st.wakeAt == e.q.Now() {
+				st.wakeAt = never
+			}
+			e.try(s)
 		}
-		e.try(int(s))
 	}
+	e.onShift = e.shiftEventArgs
 	return e
 }
 
@@ -250,6 +280,8 @@ func (e *executor) reset(cfg Config) {
 			hot:           -1,
 			locked:        -1,
 			bwdLeft:       nm,
+			bwdLow:        0,
+			fwdHi:         0,
 			wakeAt:        never,
 		}
 		for m := 0; m < nm; m++ {
@@ -283,6 +315,7 @@ func (e *executor) reset(cfg Config) {
 			}
 		}
 	}
+	e.ss.reset(e)
 }
 
 // release returns the executor to the pool, dropping every reference
@@ -300,9 +333,14 @@ func Run(cfg Config) (Result, error) {
 	}
 	e := execPool.Get().(*executor)
 	defer e.release()
+	return e.run(cfg)
+}
+
+// run executes one validated mini-batch on this executor.
+func (e *executor) run(cfg Config) (Result, error) {
 	e.reset(cfg)
 	for s := 0; s < cfg.Depth; s++ {
-		e.q.ScheduleCall(0, e.onTry, int32(s), 0)
+		e.q.ScheduleCall(0, e.onEvent, evA(evTry, s), 0)
 	}
 	e.q.Run(0)
 
@@ -343,6 +381,9 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Micros >= 1<<24 {
 		return fmt.Errorf("sim: %d micro-batches exceeds the executor's 2^24 limit", cfg.Micros)
+	}
+	if cfg.Depth >= 1<<16 {
+		return fmt.Errorf("sim: depth %d exceeds the executor's 2^16 limit", cfg.Depth)
 	}
 	if len(cfg.Costs) != cfg.Depth {
 		return fmt.Errorf("sim: %d cost entries for depth %d", len(cfg.Costs), cfg.Depth)
@@ -421,6 +462,9 @@ func (e *executor) start(st *stageState, t schedule.Task, now simtime.Time, extr
 	end := now.Add(d)
 	st.busy = true
 	st.busySum += d
+	if t.Kind == schedule.Forward && t.Micro >= st.fwdHi {
+		st.fwdHi = t.Micro + 1
+	}
 	if e.cfg.CollectTrace {
 		e.trace = append(e.trace, TaskSpan{Stage: st.idx, Task: t, Start: now, End: end})
 	}
@@ -435,12 +479,12 @@ func (e *executor) start(st *stageState, t schedule.Task, now simtime.Time, extr
 		arr := end.Add(xfer)
 		up.gradAnnounce[t.Micro] = arr
 		up.gradSenderEnd[t.Micro] = end
-		e.q.ScheduleCall(arr, e.onGradArrive, int32(up.idx), int32(t.Micro))
+		e.q.ScheduleCall(arr, e.onEvent, evA(evGradArrive, up.idx), int32(t.Micro))
 		// Wake upstream now so it can plan the recompute.
-		e.q.ScheduleCall(now, e.onTry, int32(up.idx), 0)
+		e.q.ScheduleCall(now, e.onEvent, evA(evTry, up.idx), 0)
 	}
 
-	e.q.ScheduleCall(end, e.onComplete, int32(st.idx), packTask(t))
+	e.q.ScheduleCall(end, e.onEvent, evA(evComplete, st.idx), packTask(t))
 }
 
 func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
@@ -455,7 +499,7 @@ func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
 			xfer := e.netDur(e.cfg.Costs[st.idx].ActSend)
 			arr := end.Add(xfer)
 			down.fwdSenderEnd[t.Micro] = end
-			e.q.ScheduleCall(arr, e.onActArrive, int32(down.idx), int32(t.Micro))
+			e.q.ScheduleCall(arr, e.onEvent, evA(evActArrive, down.idx), int32(t.Micro))
 		} else {
 			// Last stage: loss computed, gradient available locally.
 			st.gradArrival[t.Micro] = end
@@ -471,11 +515,20 @@ func (e *executor) complete(st *stageState, t schedule.Task, end simtime.Time) {
 		st.bwdLeft--
 		st.inFlight--
 		st.lastBwd = end
+		for st.bwdLow < e.cfg.Micros && st.bwdDone[st.bwdLow] {
+			st.bwdLow++
+		}
 		if st.locked == t.Micro {
 			st.locked = -1
 		}
 		if st.hot == t.Micro {
 			st.hot = -1 // activations consumed
+		}
+		// Steady-state boundary: one stage-0 backward completes per
+		// pipeline period, so this is where the cycle detector
+		// fingerprints (and, on a repeat, fast-forwards) the run.
+		if st.idx == 0 && e.ss.armed {
+			e.ss.boundary(e, end)
 		}
 	}
 	e.try(st.idx)
@@ -533,5 +586,5 @@ func (e *executor) wake(st *stageState, t simtime.Time) {
 		return
 	}
 	st.wakeAt = t
-	e.q.ScheduleCall(t, e.onWake, int32(st.idx), 0)
+	e.q.ScheduleCall(t, e.onEvent, evA(evWake, st.idx), 0)
 }

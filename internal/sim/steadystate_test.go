@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schedule"
+	"repro/internal/simtime"
+)
+
+// runDirect executes cfg on a fresh (unpooled) executor so tests can
+// inspect the steady-state detector afterwards.
+func runDirect(t *testing.T, cfg Config) (*executor, Result) {
+	t.Helper()
+	if err := validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	e := newExecutor()
+	res, err := e.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, res
+}
+
+// sameResult requires two results to agree on every summary metric —
+// the bit-identity contract of the steady-state fast path.
+func sameResult(t *testing.T, label string, fast, brute Result) {
+	t.Helper()
+	if fast.Makespan != brute.Makespan {
+		t.Errorf("%s: Makespan fast %v, brute %v", label, fast.Makespan, brute.Makespan)
+	}
+	if fast.PipelineSpan != brute.PipelineSpan {
+		t.Errorf("%s: PipelineSpan fast %v, brute %v", label, fast.PipelineSpan, brute.PipelineSpan)
+	}
+	if fast.Busy != brute.Busy {
+		t.Errorf("%s: Busy fast %v, brute %v", label, fast.Busy, brute.Busy)
+	}
+	if fast.BubbleFrac != brute.BubbleFrac {
+		t.Errorf("%s: BubbleFrac fast %v, brute %v", label, fast.BubbleFrac, brute.BubbleFrac)
+	}
+	if fast.OpportunisticRuns != brute.OpportunisticRuns {
+		t.Errorf("%s: OpportunisticRuns fast %d, brute %d", label, fast.OpportunisticRuns, brute.OpportunisticRuns)
+	}
+	if len(fast.StageEnds) != len(brute.StageEnds) {
+		t.Fatalf("%s: StageEnds length fast %d, brute %d", label, len(fast.StageEnds), len(brute.StageEnds))
+	}
+	for i := range fast.StageEnds {
+		if fast.StageEnds[i] != brute.StageEnds[i] {
+			t.Errorf("%s: StageEnds[%d] fast %v, brute %v", label, i, fast.StageEnds[i], brute.StageEnds[i])
+		}
+	}
+}
+
+// fastVsBrute runs cfg with the detector armed and disabled and pins
+// the two results identical. It reports whether the fast path actually
+// fired (so callers can assert coverage, not just agreement).
+func fastVsBrute(t *testing.T, label string, cfg Config) bool {
+	t.Helper()
+	brute := cfg
+	brute.DisableSteadyState = true
+	bruteRes, err := Run(brute)
+	if err != nil {
+		t.Fatalf("%s: brute: %v", label, err)
+	}
+	e, fastRes := runDirect(t, cfg)
+	sameResult(t, label, fastRes, bruteRes)
+	return e.ss.fired
+}
+
+// TestSteadyStateGoldenRuleGrid is the acceptance golden: across a
+// P×Nm grid of rule-mode configurations — skewed costs, both rule
+// policies — the fast-forwarded run must be bit-identical to brute
+// force, and must actually fire once Nm clears the warm-up horizon.
+func TestSteadyStateGoldenRuleGrid(t *testing.T) {
+	skewed := func(p int) []StageCosts {
+		base := benchCosts18()
+		costs := make([]StageCosts, p)
+		for i := range costs {
+			costs[i] = base[i%len(base)]
+			// Break uniformity so periods are not degenerate.
+			costs[i].Fwd += simtime.Duration(i%3) * simtime.Millisecond
+			costs[i].Bwd += simtime.Duration(i%5) * simtime.Millisecond
+		}
+		return costs
+	}
+	fired := 0
+	for _, p := range []int{1, 2, 3, 4, 6, 18} {
+		for _, nm := range []int{1, 4, 8, 17, 64, 100, 257, 1000} {
+			for _, policy := range []schedule.Policy{schedule.Varuna, schedule.VarunaStrict} {
+				cfg := Config{Depth: p, Micros: nm, Policy: policy, Costs: skewed(p)}
+				if fastVsBrute(t, policy.Name+"-skewed", cfg) {
+					fired++
+				}
+				cfg.Costs = UnitCosts(p, unit)
+				if fastVsBrute(t, policy.Name+"-unit", cfg) {
+					fired++
+				}
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("the fast path never fired across the whole grid — golden tests are vacuous")
+	}
+}
+
+// TestSteadyStateGoldenStrictPolicies pins the strict-order fast path
+// (and its order-periodicity cap) across every strict policy the
+// evaluation compares, including SyncComm charging and no-flush.
+func TestSteadyStateGoldenStrictPolicies(t *testing.T) {
+	fired := 0
+	for _, shape := range []struct{ p, nm int }{{2, 64}, {4, 16}, {4, 200}, {6, 500}} {
+		gpipe, err := schedule.GPipe(shape.p, shape.nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ofob, err := schedule.OneFOneB(shape.p, shape.nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct {
+			policy schedule.Policy
+			orders []schedule.Order
+		}{
+			{schedule.GPipeP, gpipe.Orders},
+			{schedule.Megatron1F1B, ofob.Orders},
+			{schedule.DeepSpeedP, ofob.Orders},
+			{schedule.PipeDreamP, ofob.Orders},
+		}
+		for _, c := range cases {
+			cfg := Config{
+				Depth: shape.p, Micros: shape.nm, Policy: c.policy,
+				Orders: c.orders, Costs: benchCosts18()[:shape.p],
+			}
+			if fastVsBrute(t, c.policy.Name, cfg) {
+				fired++
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("the fast path never fired for any strict policy")
+	}
+}
+
+// TestSteadyStateGoldenSpeedFactor covers fail-stutter modelling: a
+// straggling stage stretches the period but the run stays periodic,
+// and the fast path must reproduce it exactly.
+func TestSteadyStateGoldenSpeedFactor(t *testing.T) {
+	for _, p := range []int{3, 6} {
+		sf := make([]float64, p)
+		for i := range sf {
+			sf[i] = 1
+		}
+		sf[p/2] = 1.3
+		cfg := Config{
+			Depth: p, Micros: 300, Policy: schedule.Varuna,
+			Costs: benchCosts18()[:p], SpeedFactor: sf,
+		}
+		if !fastVsBrute(t, "speedfactor", cfg) {
+			t.Errorf("P=%d: fast path did not fire on a straggler config", p)
+		}
+	}
+}
+
+// TestSteadyStateGoldenMaxInFlight sweeps the activation-stash cap
+// through its boundaries (1, 2, P, the 2·P default): the cap changes
+// the steady-state pattern, not its existence.
+func TestSteadyStateGoldenMaxInFlight(t *testing.T) {
+	p := 4
+	for _, mif := range []int{1, 2, p, 0 /* default 2·P */} {
+		cfg := Config{
+			Depth: p, Micros: 257, Policy: schedule.Varuna,
+			Costs: benchCosts18()[:p], MaxInFlight: mif,
+		}
+		if !fastVsBrute(t, "maxinflight", cfg) {
+			t.Errorf("MaxInFlight=%d: fast path did not fire", mif)
+		}
+	}
+}
+
+// TestSteadyStateBelowWarmup: when Nm is inside the warm-up horizon
+// the detector must never fire — there is no steady state to skip —
+// and the result is still exact (it is just the brute-force run).
+func TestSteadyStateBelowWarmup(t *testing.T) {
+	for _, shape := range []struct{ p, nm int }{{4, 1}, {4, 4}, {6, 7}, {18, 18}} {
+		cfg := Config{Depth: shape.p, Micros: shape.nm, Policy: schedule.Varuna, Costs: benchCosts18()[:shape.p]}
+		e, _ := runDirect(t, cfg)
+		if e.ss.fired {
+			t.Errorf("P=%d Nm=%d: detector fired below the warm-up horizon", shape.p, shape.nm)
+		}
+	}
+	// And agreement still holds trivially.
+	for _, shape := range []struct{ p, nm int }{{4, 4}, {18, 18}} {
+		cfg := Config{Depth: shape.p, Micros: shape.nm, Policy: schedule.Varuna, Costs: benchCosts18()[:shape.p]}
+		fastVsBrute(t, "below-warmup", cfg)
+	}
+}
+
+// TestSteadyStateBypassedWithJitter: any jitter source disarms the
+// detector entirely — a jittered run is not periodic and must go
+// through full event-driven execution.
+func TestSteadyStateBypassedWithJitter(t *testing.T) {
+	cases := []Config{
+		{Depth: 4, Micros: 100, Policy: schedule.Varuna, Costs: benchCosts18()[:4],
+			JitterCV: 0.3, Rand: simtime.NewRand(1)},
+		{Depth: 4, Micros: 100, Policy: schedule.Varuna, Costs: benchCosts18()[:4],
+			ComputeJitterCV: 0.02, Rand: simtime.NewRand(1)},
+		// A Rand alone (no CVs) draws nothing, but the contract is
+		// "Rand set ⇒ bypass": determinism is not worth auditing at
+		// run time.
+		{Depth: 4, Micros: 100, Policy: schedule.Varuna, Costs: benchCosts18()[:4],
+			Rand: simtime.NewRand(1)},
+	}
+	for i, cfg := range cases {
+		e, _ := runDirect(t, cfg)
+		if e.ss.armed || e.ss.fired {
+			t.Errorf("case %d: detector ran on a jittered/Rand config (armed=%v fired=%v)",
+				i, e.ss.armed, e.ss.fired)
+		}
+	}
+	// CollectTrace also bypasses: skipped periods would record no spans.
+	e, _ := runDirect(t, Config{Depth: 4, Micros: 100, Policy: schedule.Varuna,
+		Costs: benchCosts18()[:4], CollectTrace: true})
+	if e.ss.armed || e.ss.fired {
+		t.Error("detector ran on a traced config")
+	}
+}
+
+// TestSteadyStateEstimateExact: for deterministic configurations the
+// estimate is no longer an extrapolation — it must equal a brute-force
+// full-Nm run to the microsecond.
+func TestSteadyStateEstimateExact(t *testing.T) {
+	for _, shape := range []struct{ p, nm int }{{1, 50}, {4, 33}, {6, 1000}, {18, 100}, {18, 4096}} {
+		base := benchCosts18()
+		costs := make([]StageCosts, shape.p)
+		for i := range costs {
+			costs[i] = base[i%len(base)]
+		}
+		cfg := Config{Depth: shape.p, Micros: shape.nm, Policy: schedule.Varuna, Costs: costs}
+		est, err := EstimateMakespan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := cfg
+		brute.DisableSteadyState = true
+		res, err := Run(brute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != res.Makespan {
+			t.Errorf("P=%d Nm=%d: estimate %v != brute-force makespan %v",
+				shape.p, shape.nm, est, res.Makespan)
+		}
+	}
+}
+
+// TestSteadyStateFuzz is the property test: random deterministic
+// configurations — shape, costs, stash caps, stragglers, policies —
+// must agree between fast-forwarded and brute-force execution, always.
+func TestSteadyStateFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	fired := 0
+	for i := 0; i < iters; i++ {
+		p := 1 + rng.Intn(12)
+		nm := 1 + rng.Intn(400)
+		costs := make([]StageCosts, p)
+		for s := range costs {
+			costs[s] = StageCosts{
+				Fwd:       simtime.Duration(1+rng.Intn(50)) * simtime.Millisecond,
+				Bwd:       simtime.Duration(1+rng.Intn(90)) * simtime.Millisecond,
+				Rec:       simtime.Duration(1+rng.Intn(50)) * simtime.Millisecond,
+				ActSend:   simtime.Duration(rng.Intn(20)) * simtime.Millisecond,
+				GradSend:  simtime.Duration(rng.Intn(20)) * simtime.Millisecond,
+				AllReduce: simtime.Duration(rng.Intn(300)) * simtime.Millisecond,
+				Optimizer: simtime.Duration(rng.Intn(30)) * simtime.Millisecond,
+			}
+		}
+		cfg := Config{Depth: p, Micros: nm, Costs: costs}
+		if rng.Intn(3) == 0 {
+			sf := make([]float64, p)
+			for s := range sf {
+				sf[s] = 1 + 0.5*rng.Float64()
+			}
+			cfg.SpeedFactor = sf
+		}
+		if rng.Intn(3) == 0 {
+			cfg.MaxInFlight = 1 + rng.Intn(2*p)
+		}
+		label := "fuzz-rule"
+		switch rng.Intn(4) {
+		case 0:
+			cfg.Policy = schedule.Varuna
+		case 1:
+			cfg.Policy = schedule.VarunaStrict
+		case 2:
+			s, err := schedule.OneFOneB(p, nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Orders = s.Orders
+			cfg.Policy = []schedule.Policy{schedule.Megatron1F1B, schedule.DeepSpeedP, schedule.PipeDreamP}[rng.Intn(3)]
+			label = "fuzz-" + cfg.Policy.Name
+		case 3:
+			s, err := schedule.GPipe(p, nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Orders = s.Orders
+			cfg.Policy = schedule.GPipeP
+			label = "fuzz-gpipe"
+		}
+		if fastVsBrute(t, label, cfg) {
+			fired++
+		}
+		if t.Failed() {
+			t.Fatalf("iteration %d diverged: %+v shape P=%d Nm=%d policy=%s", i, cfg, p, nm, cfg.Policy.Name)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("fuzz never exercised the fast path")
+	}
+	t.Logf("fast path fired on %d/%d fuzz configs", fired, iters)
+}
+
+// TestSteadyStatePooledRunsStayIsolated re-runs mixed shapes through
+// the public pooled Run with detection on: reused detector buffers
+// must not leak state between runs.
+func TestSteadyStatePooledRunsStayIsolated(t *testing.T) {
+	shapes := []struct{ p, nm int }{{6, 300}, {2, 3}, {6, 300}, {1, 100}, {4, 257}, {6, 300}}
+	var first Result
+	for i, s := range shapes {
+		cfg := Config{Depth: s.p, Micros: s.nm, Policy: schedule.Varuna, Costs: UnitCosts(s.p, unit)}
+		res := mustRun(t, cfg)
+		if s.p == 6 && s.nm == 300 {
+			if i == 0 {
+				first = res
+			} else if res.Makespan != first.Makespan || res.Busy != first.Busy {
+				t.Fatalf("run %d: repeated shape drifted across pool reuse: %v vs %v", i, res.Makespan, first.Makespan)
+			}
+		}
+	}
+}
+
+// BenchmarkRunRuleDeepNm is the Nm-independence acceptance benchmark:
+// with steady-state fast-forwarding, ten times the micro-batches must
+// cost roughly what BenchmarkRunRuleNoTrace does, not ten times more.
+func BenchmarkRunRuleDeepNm(b *testing.B) {
+	cfg := Config{Depth: 18, Micros: 1000, Policy: schedule.Varuna, Costs: benchCosts18()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunRuleNoTraceBrute is the detection-disabled reference for
+// the two benchmarks above: the cost of simulating every event.
+func BenchmarkRunRuleNoTraceBrute(b *testing.B) {
+	cfg := Config{Depth: 18, Micros: 100, Policy: schedule.Varuna, Costs: benchCosts18(), DisableSteadyState: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -117,6 +117,68 @@ func (q *EventQueue) Run(horizon Time) Time {
 	return q.now
 }
 
+// PendingEvent is one scheduled-but-unfired call-style event as seen
+// by SnapshotPending: its absolute time and the two callback
+// arguments. The insertion sequence stays unexported — snapshots are
+// already emitted in firing order, and absolute sequence numbers would
+// defeat the relative-state comparison snapshots exist for.
+type PendingEvent struct {
+	At   Time
+	A, B int32
+
+	seq int64
+}
+
+// SnapshotPending appends every pending call-style event to dst[:0] in
+// deterministic firing order (time, then insertion sequence) and
+// reports whether the snapshot is complete. A pending closure event
+// (Schedule/After) has no inspectable identity, so its presence makes
+// the queue unfingerprintable: the snapshot reports ok == false and
+// the caller must not treat the queue as comparable. The returned
+// slice aliases dst's backing array (grown as needed); a warm caller
+// performs no allocations.
+func (q *EventQueue) SnapshotPending(dst []PendingEvent) (out []PendingEvent, ok bool) {
+	dst = dst[:0]
+	for _, id := range q.heap {
+		ev := &q.arena[id]
+		if ev.fire != nil {
+			return dst, false
+		}
+		dst = append(dst, PendingEvent{At: ev.at, A: ev.a, B: ev.b, seq: ev.seq})
+	}
+	// Insertion sort by (At, seq): pending counts are small (O(P) for
+	// the simulator) and the heap emits them nearly ordered already.
+	for i := 1; i < len(dst); i++ {
+		e := dst[i]
+		j := i - 1
+		for j >= 0 && (dst[j].At > e.At || (dst[j].At == e.At && dst[j].seq > e.seq)) {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = e
+	}
+	return dst, true
+}
+
+// ShiftPending advances the simulated clock and every pending event by
+// d, optionally rewriting each event's callback arguments. A uniform
+// shift preserves the (time, sequence) order, so the heap stays valid
+// and execution resumes exactly as if the skipped interval had been
+// simulated event by event. This is the fast-forward primitive behind
+// the simulator's steady-state cycle detection: once a deterministic
+// schedule is known to be periodic, whole periods are applied
+// arithmetically instead of fired.
+func (q *EventQueue) ShiftPending(d Duration, rewrite func(a, b int32) (int32, int32)) {
+	q.now = q.now.Add(d)
+	for _, id := range q.heap {
+		ev := &q.arena[id]
+		ev.at = ev.at.Add(d)
+		if rewrite != nil && ev.call != nil {
+			ev.a, ev.b = rewrite(ev.a, ev.b)
+		}
+	}
+}
+
 // Reset returns the queue to its zero state while keeping the arena,
 // heap and free-list capacity, so a pooled simulation can run again
 // without reallocating. Pending events are discarded and their

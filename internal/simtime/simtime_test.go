@@ -276,3 +276,121 @@ func BenchmarkEventQueue(b *testing.B) {
 		}
 	}
 }
+
+func TestSnapshotPendingFiringOrder(t *testing.T) {
+	var q EventQueue
+	cb := func(a, b int32) {}
+	// Schedule out of order, with a same-instant pair to pin the
+	// insertion-sequence tiebreak.
+	q.ScheduleCall(30, cb, 3, 30)
+	q.ScheduleCall(10, cb, 1, 10)
+	q.ScheduleCall(20, cb, 2, 20)
+	q.ScheduleCall(10, cb, 4, 40) // same instant as the second event, inserted later
+	evs, ok := q.SnapshotPending(nil)
+	if !ok {
+		t.Fatal("call-only queue must be fingerprintable")
+	}
+	if len(evs) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(evs))
+	}
+	wantA := []int32{1, 4, 2, 3}
+	wantAt := []Time{10, 10, 20, 30}
+	for i, ev := range evs {
+		if ev.A != wantA[i] || ev.At != wantAt[i] {
+			t.Fatalf("snapshot[%d] = (at %v, a %d), want (at %v, a %d)", i, ev.At, ev.A, wantAt[i], wantA[i])
+		}
+	}
+	// The snapshot must not disturb execution order.
+	var fired []int32
+	run := func(a, b int32) { fired = append(fired, a) }
+	var q3 EventQueue
+	q3.ScheduleCall(30, run, 3, 0)
+	q3.ScheduleCall(10, run, 1, 0)
+	q3.ScheduleCall(20, run, 2, 0)
+	q3.ScheduleCall(10, run, 4, 0)
+	if _, ok := q3.SnapshotPending(nil); !ok {
+		t.Fatal("snapshot failed")
+	}
+	q3.Run(0)
+	if len(fired) != 4 || fired[0] != 1 || fired[1] != 4 || fired[2] != 2 || fired[3] != 3 {
+		t.Fatalf("post-snapshot firing order %v, want [1 4 2 3]", fired)
+	}
+}
+
+func TestSnapshotPendingClosureEventUnfingerprintable(t *testing.T) {
+	var q EventQueue
+	q.ScheduleCall(10, func(a, b int32) {}, 1, 0)
+	q.Schedule(20, func() {})
+	if _, ok := q.SnapshotPending(nil); ok {
+		t.Fatal("a pending closure event must make the snapshot report ok == false")
+	}
+}
+
+func TestSnapshotPendingReusesBuffer(t *testing.T) {
+	var q EventQueue
+	cb := func(a, b int32) {}
+	for i := 0; i < 8; i++ {
+		q.ScheduleCall(Time(i), cb, int32(i), 0)
+	}
+	buf, ok := q.SnapshotPending(nil)
+	if !ok || len(buf) != 8 {
+		t.Fatalf("snapshot = %d events, ok=%v", len(buf), ok)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		var ok2 bool
+		buf, ok2 = q.SnapshotPending(buf)
+		if !ok2 || len(buf) != 8 {
+			t.Fatal("warm snapshot changed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SnapshotPending allocated %.1f times per run", allocs)
+	}
+}
+
+func TestShiftPendingAdvancesClockEventsAndArgs(t *testing.T) {
+	var fired []int32
+	var at []Time
+	var q EventQueue
+	run := func(a, b int32) { fired = append(fired, a, b); at = append(at, q.Now()) }
+	q.ScheduleCall(10, run, 1, 100)
+	q.ScheduleCall(10, run, 2, 200)
+	q.ScheduleCall(30, run, 3, 300)
+	q.ShiftPending(5, func(a, b int32) (int32, int32) {
+		if a == 2 {
+			return a, b + 1000 // rewrite one event's payload
+		}
+		return a, b
+	})
+	if q.Now() != 5 {
+		t.Fatalf("clock after shift = %v, want 5", q.Now())
+	}
+	end := q.Run(0)
+	// Order preserved (uniform shift), times moved by 5, args rewritten.
+	want := []int32{1, 100, 2, 1200, 3, 300}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if at[0] != 15 || at[1] != 15 || at[2] != 35 || end != 35 {
+		t.Fatalf("fire times %v end %v, want [15 15 35] 35", at, end)
+	}
+}
+
+func TestShiftPendingNilRewrite(t *testing.T) {
+	var got []int32
+	var q EventQueue
+	q.ScheduleCall(10, func(a, b int32) { got = append(got, a, b) }, 7, 70)
+	q.ShiftPending(20, nil)
+	q.Run(0)
+	if q.Now() != 30 {
+		t.Fatalf("event fired at %v, want 30", q.Now())
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 70 {
+		t.Fatalf("args %v, want [7 70] (nil rewrite must not touch them)", got)
+	}
+}

