@@ -2,7 +2,9 @@
 // scenario). The Varuna manager detects preemptions through missed
 // heartbeats, flags fail-stutter VMs, rolls back to the last
 // checkpoint when work is lost, and morphs the (P, D) configuration so
-// per-GPU throughput stays level while the fleet swings.
+// per-GPU throughput stays level while the fleet swings. The market
+// carries a spot price curve, so the run is also metered in dollars —
+// compute vs reconfiguration downtime vs idle capacity.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/price"
 	"repro/internal/simtime"
 	"repro/internal/spot"
 )
@@ -27,8 +30,15 @@ func main() {
 	}
 
 	// A spot market with ~120 spare GPUs on average, swinging over an
-	// 8-hour datacenter load cycle.
+	// 8-hour datacenter load cycle, priced by a mean-reverting spot
+	// curve around $2.40/GPU·h.
 	mk := spot.NewMarket(1, 120, 11)
+	mk.Prices, err = price.MeanReverting(price.MROptions{
+		Mean: 2.40, Vol: 0.18, Reversion: 0.12, Horizon: 24 * simtime.Hour,
+	}, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
 	points, stats, err := job.RunOnSpotMarket(mk, target, 24*simtime.Hour, 13)
 	if err != nil {
 		log.Fatal(err)
@@ -52,4 +62,7 @@ func main() {
 		stats.Morphs, stats.Replacements, stats.Preemptions, stats.Allocations)
 	fmt.Printf("  %d checkpoints, %d mini-batches rolled back, %d stragglers excluded, %v downtime\n",
 		stats.Checkpoints, stats.LostMiniBatches, stats.StragglersExcluded, stats.Downtime)
+	fmt.Printf("  $%.2f spent ($%.2f compute, $%.2f reconfig, $%.2f idle) — $%.2f per 1k examples\n",
+		stats.DollarsSpent, stats.DollarsCompute, stats.DollarsReconfig, stats.DollarsIdle,
+		1000*stats.DollarsPerExample())
 }

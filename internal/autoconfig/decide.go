@@ -18,6 +18,30 @@ type Horizon struct {
 	Until simtime.Duration
 	// PreemptNext marks the next expected event as a preemption.
 	PreemptNext bool
+	// HoldDiscount is the fraction of the post-downtime gain window a
+	// PreemptNext decision still credits, calibrated from the per-kind
+	// hazard ratio: gap_preempt / (gap_preempt + gap_alloc), i.e. the
+	// probability that the next fleet event is an allocation rather
+	// than the forecast preemption. When preemptions dominate the
+	// event stream (a reclaim burst) the window is discounted harder
+	// than the symmetric case; when the tracks are balanced it equals
+	// the legacy fixed ½. Zero means "uncalibrated" and falls back to
+	// that fixed ½ — the prior before both kind tracks have observed
+	// gaps.
+	HoldDiscount float64
+}
+
+// discounted applies the preempt-next discount to a usable gain
+// window: the calibrated per-kind hazard ratio when available, the
+// legacy fixed ½ otherwise.
+func (hz Horizon) discounted(usable simtime.Duration) simtime.Duration {
+	if !hz.PreemptNext {
+		return usable
+	}
+	if hz.HoldDiscount > 0 {
+		return simtime.Duration(float64(usable) * hz.HoldDiscount)
+	}
+	return usable / 2
 }
 
 // MorphDecision is the outcome of a cost-aware BestOrHold evaluation:
@@ -41,6 +65,11 @@ type MorphDecision struct {
 	// PreemptNext records whether the decision treated the next fleet
 	// event as a likely preemption (and so discounted the gain window).
 	PreemptNext bool
+	// MorphCostPerEx and HoldCostPerEx are the dollars-per-example of
+	// the two paths over the decision window, filled only by the
+	// dollar objectives (BestOrHoldObjective) when both paths produce
+	// examples — the quantities the decision compared.
+	MorphCostPerEx, HoldCostPerEx float64
 }
 
 // BestOrHold is the cost-aware variant of Best: given the currently
@@ -58,10 +87,12 @@ type MorphDecision struct {
 // i.e. when modeled downtime exceeds the discounted steady-state gain.
 // When the forecast expects the next fleet event to be another
 // preemption (hz.PreemptNext), the post-downtime gain window is
-// additionally halved before the comparison — a preemption forces a
-// restart that re-prices the configuration anyway, and preemption
+// additionally discounted before the comparison — a preemption forces
+// a restart that re-prices the configuration anyway, and preemption
 // bursts make the EWMA gap an overestimate of the remaining window —
-// so marginal morphs hold. A job that is not running, or whose current
+// so marginal morphs hold. The discount is hz.HoldDiscount, the
+// calibrated hazard-ratio fraction (falling back to ½ while
+// uncalibrated; see Horizon). A job that is not running, or whose current
 // shape no longer fits the fleet, always morphs. The underlying
 // Best(g) is memoized as usual, so the added decision work is
 // arithmetic, not simulation.
@@ -97,9 +128,7 @@ func (pl *Planner) BestOrHold(g int, cur Choice, running bool, rm *restart.Model
 	if usable < 0 {
 		usable = 0
 	}
-	if hz.PreemptNext {
-		usable /= 2
-	}
+	usable = hz.discounted(usable)
 	earned := dec.GainPerSec * usable.Seconds()
 	forfeited := cur.TotalExPerSec() * down.Seconds()
 	dec.Morph = earned > forfeited

@@ -166,6 +166,12 @@ func (j *Job) RunOnSpotMarket(mk *spot.Market, targetGPUs int, horizon simtime.D
 // expected time to the next fleet event for a fleet at the target
 // size — until observed gaps take over.
 func (j *Job) RunOnSpotMarketOpts(mk *spot.Market, targetGPUs int, horizon simtime.Duration, seed int64, opts manager.Options) ([]manager.TimelinePoint, manager.Stats, error) {
+	if opts.Prices == nil && opts.Meter == nil {
+		// A priced market carries its own curve; dollars are then
+		// accounted (and dollar objectives decidable) without the
+		// caller re-plumbing it.
+		opts.Prices = mk.Prices
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, manager.Stats{}, err
 	}

@@ -29,6 +29,7 @@ func All() []Entry {
 		{ID: "planner", Paper: "§7.2 (morph decision caching)", Run: PlannerCaching},
 		{ID: "fig8", Paper: "Figure 8 (60h morphing)", Run: Fig8Morphing},
 		{ID: "restart-cost", Paper: "§4.6/§7.2 (reconfiguration cost ablation)", Run: RestartCost},
+		{ID: "spot-dollars", Paper: "§1/§7.2 (dollar-cost objectives)", Run: SpotDollars},
 		{ID: "vmsize", Paper: "§7.2 (1-GPU vs 4-GPU VMs)", Run: OneVsFourGPUVMs},
 		{ID: "fig9", Paper: "Figure 9 (convergence)", Run: Fig9Convergence},
 		{ID: "fig10", Paper: "Figure 10 (stale updates)", Run: Fig10TwoBW},

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autoconfig"
+	"repro/internal/hw"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/price"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+	"repro/internal/testbed"
+)
+
+// SpotDollars prices the Figure 8 scenario in dollars: the same
+// bursty 24-hour spot trace under a stochastic mean-reverting price
+// curve, replayed under all three morph objectives —
+//
+//   - max throughput (the paper's rule: dollars are only accounted),
+//   - min $/example (idle capacity released, marginal replicas shed
+//     through price spikes, morphs settled by dollar surplus), and
+//   - deadline (a 50%-of-flat-out target by the horizon, bought as
+//     cheaply as possible).
+//
+// The trace, curve and every seed are identical across runs, so the
+// dollar columns differ only by objective. The experiment errors if
+// min-$/example fails to spend strictly fewer dollars per example
+// than max throughput — the invariant the objective exists to
+// enforce — or if the deadline run misses its target.
+//
+// A closing note prices the same job across two VM kinds
+// (cheap-but-volatile 1-GPU vs pricier-but-stable 4-GPU) with
+// price.ChooseMarket, feeding it the per-kind preemption hazards a
+// GapEstimator observes on each market's own trace.
+func SpotDollars(x *Ctx) (*Table, error) {
+	spec := model.GPT2XL2B()
+	cluster := hw.SpotCluster(hw.NC6v3, 150)
+	job, err := x.sharedJob(spec, cluster, 8192, 54)
+	if err != nil {
+		return nil, err
+	}
+	horizon := 24 * simtime.Hour
+	mk := spot.NewMarket(1, 120, 55)
+	events := spot.EventTrace(mk, 150, horizon, 10*simtime.Minute)
+	curve, err := price.MeanReverting(price.MROptions{
+		Mean: 2.40, Vol: 0.18, Reversion: 0.12, Horizon: horizon,
+	}, 61)
+	if err != nil {
+		return nil, err
+	}
+
+	type run struct {
+		name  string
+		obj   autoconfig.Objective
+		stats manager.Stats
+	}
+	runs := []*run{
+		{name: "max-throughput", obj: autoconfig.Objective{Kind: autoconfig.ObjMaxThroughput}},
+		{name: "min-$/example", obj: autoconfig.Objective{Kind: autoconfig.ObjMinDollarPerExample}},
+		{name: "deadline (50%)", obj: autoconfig.Objective{Kind: autoconfig.ObjDeadline}},
+	}
+	for _, r := range runs {
+		opts := manager.DefaultOptions()
+		opts.Prices = curve
+		opts.Objective = r.obj
+		if r.obj.Kind == autoconfig.ObjDeadline {
+			// Target 50% of what flat-out training achieved, due at
+			// the horizon — runs[0] has already executed.
+			opts.Objective.DeadlineAt = simtime.Time(horizon)
+			opts.Objective.TargetExamples = 0.5 * runs[0].stats.Examples
+		}
+		// Fresh identically-seeded testbed per objective (the
+		// objectives measure different (P, D) sets); shared planner
+		// caches — both deterministic, as in the restart-cost
+		// ablation.
+		tb := testbed.New(cluster, 58)
+		mg := manager.NewWithPlanner(job.Inputs(), tb, job.Planner(), opts, 56)
+		_, stats, err := mg.RunTimeline(events, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.name, err)
+		}
+		r.stats = stats
+	}
+
+	t := &Table{
+		Title:  "Dollar objectives: 2.5B on the 24h Figure 8 trace, mean-reverting spot price ($2.40/GPU·h mean)",
+		Header: []string{"Objective", "Examples", "Dollars", "$/k-ex", "Compute$", "Reconfig$", "Idle$", "Holds", "Released"},
+	}
+	for _, r := range runs {
+		s := r.stats
+		t.Add(r.name,
+			fmt.Sprintf("%.2fM", s.Examples/1e6),
+			fmt.Sprintf("%.0f", s.DollarsSpent),
+			fmt.Sprintf("%.2f", 1000*s.DollarsPerExample()),
+			fmt.Sprintf("%.0f", s.DollarsCompute),
+			fmt.Sprintf("%.0f", s.DollarsReconfig),
+			fmt.Sprintf("%.0f", s.DollarsIdle),
+			fmt.Sprint(s.Holds),
+			fmt.Sprint(s.VMsReleased))
+	}
+	t.Figure = priceStrip(curve, horizon)
+
+	thru, dollar, dead := runs[0].stats, runs[1].stats, runs[2].stats
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("min-$/example buys examples at $%.2f/k vs $%.2f/k flat out (%.0f%% cheaper), releasing %d VMs across price spikes",
+			1000*dollar.DollarsPerExample(), 1000*thru.DollarsPerExample(),
+			100*(1-dollar.DollarsPerExample()/thru.DollarsPerExample()), dollar.VMsReleased),
+		fmt.Sprintf("deadline run met %.2fM of its %.2fM target spending $%.0f vs $%.0f flat out",
+			dead.Examples/1e6, 0.5*thru.Examples/1e6, dead.DollarsSpent, thru.DollarsSpent))
+	if note, err := chooseMarketNote(job, curve, horizon); err == nil {
+		t.Notes = append(t.Notes, note)
+	} else {
+		return t, err
+	}
+
+	if dollar.DollarsPerExample() >= thru.DollarsPerExample() {
+		return t, fmt.Errorf("spot-dollars: min-$/example %.4g did not undercut max-throughput %.4g $/ex",
+			dollar.DollarsPerExample(), thru.DollarsPerExample())
+	}
+	if dead.Examples < 0.5*thru.Examples {
+		return t, fmt.Errorf("spot-dollars: deadline run missed its target: %.0f < %.0f",
+			dead.Examples, 0.5*thru.Examples)
+	}
+	return t, nil
+}
+
+// chooseMarketNote prices the job across two VM kinds with
+// ChooseMarket: a fresh copy of the 1-GPU market the run trained on
+// (cheap, volatile) against a 4-GPU market (priced 25% higher, but
+// preempted far less). Per-kind hazards come from GapEstimators fed
+// each market's own 24-hour event trace — the "existing per-kind
+// hazards" seam.
+func chooseMarketNote(job jobForMarkets, curve *price.Curve, horizon simtime.Duration) (string, error) {
+	oneGPU := spot.NewMarket(1, 120, 55)
+	oneGPU.Prices = curve
+	fourGPU := spot.NewMarket(4, 120, 57)
+	fourGPU.MeanHold = 16 * simtime.Hour // dedicated blocks are reclaimed rarely
+	stable, err := price.FromSteps([]price.Step{{At: 0, PerGPUHour: curve.Mean(0, simtime.Time(horizon)) * 1.25}})
+	if err != nil {
+		return "", err
+	}
+	fourGPU.Prices = stable
+	c, err := job.BestConfig(144)
+	if err != nil {
+		return "", err
+	}
+
+	kinds := make([]price.Kind, 0, 2)
+	for _, m := range []struct {
+		mk   *spot.Market
+		name string
+	}{
+		{oneGPU, "1-GPU volatile"},
+		{fourGPU, "4-GPU stable"},
+	} {
+		gaps := spot.NewGapEstimator(30 * simtime.Minute)
+		for _, e := range spot.EventTrace(m.mk, 144, horizon, 10*simtime.Minute) {
+			gaps.ObserveKind(e.At, e.Kind)
+		}
+		// Restart price of the forced reconfiguration each preemption
+		// triggers, at the chosen shape.
+		kinds = append(kinds, m.mk.KindFor(m.name, 144, c.TotalExPerSec(), gaps,
+			4*simtime.Minute))
+	}
+	best, scores := price.ChooseMarket(horizon, kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "market chooser: ")
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(" vs ")
+		}
+		fmt.Fprintf(&b, "%s $%.2f/kex", k.Name, 1000*scores[i])
+	}
+	fmt.Fprintf(&b, " → %s", kinds[best].Name)
+	return b.String(), nil
+}
+
+// jobForMarkets is the core.Job slice chooseMarketNote needs.
+type jobForMarkets interface {
+	BestConfig(g int) (autoconfig.Choice, error)
+}
+
+// priceStrip renders the price curve as a coarse text chart over the
+// horizon.
+func priceStrip(c *price.Curve, horizon simtime.Duration) string {
+	const cols = 96
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	lo, hi := c.At(0), c.At(0)
+	for i := 0; i < cols; i++ {
+		p := c.At(simtime.Time(int64(horizon) * int64(i) / cols))
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "$/GPU·h ")
+	for i := 0; i < cols; i++ {
+		p := c.At(simtime.Time(int64(horizon) * int64(i) / cols))
+		g := 0
+		if hi > lo {
+			g = int((p - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		if g >= len(glyphs) {
+			g = len(glyphs) - 1
+		}
+		if g < 0 {
+			g = 0
+		}
+		b.WriteRune(glyphs[g])
+	}
+	fmt.Fprintf(&b, "  [%.2f–%.2f]\n", lo, hi)
+	return b.String()
+}

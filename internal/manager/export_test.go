@@ -1,0 +1,7 @@
+package manager
+
+// SetLegacyHoldDiscount pins the preempt-next hold discount to the
+// historical fixed ½ (test-only): the calibration golden test runs
+// the same trace both ways and checks the hold count only moves in
+// the expected direction.
+func SetLegacyHoldDiscount(mg *Manager, v bool) { mg.legacyHoldDiscount = v }

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/autoconfig"
+	"repro/internal/price"
 	"repro/internal/restart"
 	"repro/internal/simtime"
 	"repro/internal/spot"
@@ -75,6 +76,30 @@ type Options struct {
 	// hazard (spot.Market.ExpectedNextEvent); a bare RunTimeline falls
 	// back to DefaultEventGapPrior.
 	EventGapPrior simtime.Duration
+	// HeartbeatEvery is the cadence at which the manager re-examines
+	// compute heartbeats *between* fleet events. Historically the
+	// fail-stutter detector only ran when the fleet changed, so a VM
+	// degrading mid-segment stayed invisible until the next
+	// allocation or preemption; periodic heartbeat checks surface the
+	// anomaly within one interval, exclude the VM and re-measure the
+	// mini-batch time. Zero disables mid-segment checks (the legacy
+	// morph-segments-only behavior).
+	HeartbeatEvery simtime.Duration
+	// Prices is the spot price curve dollars are accounted against.
+	// Nil disables cost accounting entirely (no meter, zero Dollars
+	// fields) — the pre-dollar behavior.
+	Prices *price.Curve
+	// Meter, when non-nil, carries the cost accounting across runs: a
+	// warm-resumed manager passes the meter restored by
+	// restart.LoadSections so cumulative dollars continue instead of
+	// restarting from zero. Nil builds a fresh meter from Prices.
+	Meter *price.Meter
+	// Objective selects what morph decisions optimize. The zero value
+	// (max throughput) reproduces the pre-dollar decision rule
+	// bit-identically; the dollar objectives additionally release
+	// fleet capacity the chosen configuration cannot use and need a
+	// price curve to decide against.
+	Objective autoconfig.Objective
 }
 
 // DefaultEventGapPrior is the stable-window assumption used when
@@ -91,6 +116,7 @@ func DefaultOptions() Options {
 		StragglerThreshold: 1.20,
 		Policy:             PolicyMorphOrHold,
 		ConstOverhead:      4 * simtime.Minute,
+		HeartbeatEvery:     10 * simtime.Minute,
 	}
 }
 
@@ -134,6 +160,14 @@ type TimelinePoint struct {
 	// Downtime is the reconfiguration downtime charged at this event
 	// (zero for hold/checkpoint/down points).
 	Downtime simtime.Duration
+	// DollarsSpent is this run's cumulative spend at this point (zero
+	// when no price curve is configured; a warm meter's pre-restart
+	// bill is excluded).
+	DollarsSpent float64
+	// Released counts VMs voluntarily returned to the market at this
+	// decision — the shrink a dollar objective applies when held
+	// capacity is uneconomical.
+	Released int
 }
 
 // Stats summarizes a timeline run — the aggregate counters behind the
@@ -165,6 +199,30 @@ type Stats struct {
 	// stop + flush + redistribution + restart (or the flat constant
 	// under PolicyConstant), excluding checkpoint stalls.
 	MorphDowntime simtime.Duration
+	// DollarsSpent is what THIS run spent (all buckets); the
+	// per-bucket splits attribute it to training compute,
+	// reconfiguration/checkpoint downtime and idle capacity. All four
+	// stay zero when no price curve is configured. A warm meter
+	// passed in via Options.Meter keeps the whole-job cumulative bill
+	// on the meter itself — these fields exclude the pre-restart
+	// spend so DollarsPerExample divides like for like.
+	DollarsSpent    float64
+	DollarsCompute  float64
+	DollarsReconfig float64
+	DollarsIdle     float64
+	// VMsReleased counts VMs a dollar objective voluntarily returned
+	// to the market (idle remainders, flagged stragglers, and
+	// marginal replicas shed during price spikes).
+	VMsReleased int
+}
+
+// DollarsPerExample is the run's realized training cost: this run's
+// spend over this run's examples (zero before any example).
+func (s Stats) DollarsPerExample() float64 {
+	if s.Examples <= 0 {
+		return 0
+	}
+	return s.DollarsSpent / s.Examples
 }
 
 // Manager replays a spot-market event trace against a testbed-backed
@@ -186,8 +244,34 @@ type Manager struct {
 	// the job's spec on the testbed's cluster by New; replace before a
 	// run to model different hardware.
 	RM *restart.Model
+	// Degrade injects mid-segment fail-stutter onset for scenario
+	// testing: each entry marks a VM whose compute heartbeat degrades
+	// at a given instant (the failure mode the periodic heartbeat
+	// checks exist to catch).
+	Degrade []Degradation
 
 	rng *simtime.Rand
+	// hbRng draws the measurement noise of *periodic* heartbeat
+	// samples. It is a separate stream from rng on purpose: the
+	// morph-time straggler check keeps its historical draws, so
+	// enabling or disabling mid-segment checks cannot shift the main
+	// stream and silently re-randomize an otherwise identical
+	// timeline.
+	hbRng *simtime.Rand
+	// legacyHoldDiscount pins the preempt-next hold discount to the
+	// historical fixed ½ instead of the hazard-calibrated ratio —
+	// test-only, to golden the direction the calibration moves hold
+	// counts.
+	legacyHoldDiscount bool
+}
+
+// Degradation marks a VM that starts fail-stuttering mid-run: from At
+// on, its compute heartbeats read Factor× the healthy pace (1.35 =
+// 35% slower, the magnitude §4.6 reports).
+type Degradation struct {
+	VM     int
+	At     simtime.Time
+	Factor float64
 }
 
 // New builds a manager with its own Planner for in.
@@ -206,8 +290,9 @@ func NewWithPlanner(in autoconfig.Inputs, tb *testbed.Testbed, plan *autoconfig.
 	rm.Fabric = tb.Fabric
 	return &Manager{
 		In: in, TB: tb, Opts: opts, Plan: plan,
-		RM:  rm,
-		rng: simtime.NewRand(seed),
+		RM:    rm,
+		rng:   simtime.NewRand(seed),
+		hbRng: simtime.NewRand(seed + 7919),
 	}
 }
 
@@ -252,6 +337,185 @@ type timelineRun struct {
 	// testbed measurement characterizes a stable segment).
 	mbCache map[[2]int]simtime.Duration
 	exCache map[[2]int]float64
+
+	// meter accounts dollars over the timeline (nil without a price
+	// curve); acc is the last metered instant — every clock advance
+	// charges [acc, now] into a bucket, so the metered spans tile
+	// [0, horizon] exactly. meanRate is the curve's horizon-mean
+	// price, the reference the dollar objectives compare the current
+	// price against.
+	meter    *price.Meter
+	acc      simtime.Time
+	meanRate float64
+	// baseDollars snapshots the meter at run start: a warm meter
+	// (Options.Meter, restored across a restart) arrives with the
+	// prior bill already on it, and this run's Stats and points
+	// report only what THIS replay spent — $/example must divide
+	// this-run dollars by this-run examples.
+	baseDollars [price.NumBuckets]float64
+	baseTotal   float64
+	// released marks VMs voluntarily returned to the market: their
+	// later trace preemptions are no longer ours to observe or pay
+	// for.
+	released map[int]bool
+	// degs is the sorted mid-segment degradation schedule; degIdx the
+	// next entry to apply. nextHB is the next periodic heartbeat
+	// check.
+	degs   []Degradation
+	degIdx int
+	nextHB simtime.Time
+}
+
+// paidGPUs sums the held fleet — everything the job pays for,
+// flagged stragglers included (excluded from training, not from the
+// bill, unless a dollar objective released them).
+func (r *timelineRun) paidGPUs() int {
+	g := 0
+	for _, vm := range r.live {
+		g += vm.gpus
+	}
+	return g
+}
+
+// chargeTraining meters [acc, to] as a training span: the running
+// configuration's GPUs bill as compute, the held remainder as idle.
+func (r *timelineRun) chargeTraining(to simtime.Time) {
+	if r.meter != nil && to > r.acc {
+		pay := r.paidGPUs()
+		used := 0
+		if r.running {
+			used = r.current.GPUsUsed
+			if used > pay {
+				used = pay
+			}
+		}
+		r.meter.Charge(price.Compute, r.acc, to, used)
+		r.meter.Charge(price.Idle, r.acc, to, pay-used)
+	}
+	if to > r.acc {
+		r.acc = to
+	}
+}
+
+// chargeDowntime meters [acc, to] as reconfiguration or checkpoint
+// downtime: the whole held fleet is paid, nothing trains.
+func (r *timelineRun) chargeDowntime(to simtime.Time) {
+	if r.meter != nil && to > r.acc {
+		r.meter.Charge(price.Reconfig, r.acc, to, r.paidGPUs())
+	}
+	if to > r.acc {
+		r.acc = to
+	}
+}
+
+// chargeIdle meters [acc, to] as idle: capacity held while nothing
+// runs (a dead fleet waiting for allocations).
+func (r *timelineRun) chargeIdle(to simtime.Time) {
+	if r.meter != nil && to > r.acc {
+		r.meter.Charge(price.Idle, r.acc, to, r.paidGPUs())
+	}
+	if to > r.acc {
+		r.acc = to
+	}
+}
+
+// dollars reports this run's cumulative spend for timeline points.
+func (r *timelineRun) dollars() float64 { return r.meter.Total() - r.baseTotal }
+
+// econ snapshots the economic context of a decision at the current
+// instant.
+func (r *timelineRun) econ() autoconfig.Econ {
+	ec := autoconfig.Econ{
+		Now:             r.now,
+		DoneExamples:    r.stats.Examples,
+		CheckpointEvery: r.mg.Opts.CheckpointEvery,
+	}
+	if r.meter != nil {
+		ec.PerGPUHour = r.meter.Curve().At(r.now)
+		ec.MeanPerGPUHour = r.meanRate
+	}
+	if r.gaps.KindObservations(spot.Preempt) > 0 {
+		ec.PreemptEvery = r.gaps.ExpectedOf(spot.Preempt)
+	}
+	return ec
+}
+
+// releaseExcess returns held VMs a dollar objective cannot use to the
+// market: every flagged straggler (paid, useless), then surplus
+// healthy VMs — largest ids first, deterministic — until usable
+// capacity matches the target configuration. Released VMs stop
+// billing immediately and their future trace preemptions are ignored
+// (they are the provider's problem now). The precomputed event trace
+// cannot re-grant a released VM, but later allocations are fresh VMs
+// and regrow the fleet as usual.
+func (r *timelineRun) releaseExcess(target int) int {
+	ids := make([]int, 0, len(r.live))
+	for id := range r.live {
+		ids = append(ids, id)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	usable := r.usableGPUs()
+	released := 0
+	for _, id := range ids {
+		vm := r.live[id]
+		if !vm.slow {
+			if usable-vm.gpus < target {
+				continue
+			}
+			usable -= vm.gpus
+		}
+		delete(r.live, id)
+		r.released[id] = true
+		released++
+	}
+	r.stats.VMsReleased += released
+	return released
+}
+
+// applyDegradations applies every scheduled degradation due by now to
+// the VMs still held.
+func (r *timelineRun) applyDegradations() {
+	for r.degIdx < len(r.degs) && r.degs[r.degIdx].At <= r.now {
+		d := r.degs[r.degIdx]
+		r.degIdx++
+		if vm, ok := r.live[d.VM]; ok && d.Factor > vm.speed {
+			vm.speed = d.Factor
+		}
+	}
+}
+
+// sampleStragglers runs one fail-stutter sweep: sample a compute
+// heartbeat per healthy VM (in sorted-id order, so the id→noise-draw
+// pairing — and hence the flagged set — is deterministic), flag
+// outliers and report how many VMs were newly excluded. The noise
+// source is a parameter because the two call sites own different
+// streams: morph-time checks draw from the manager's main rng (the
+// historical behavior), periodic heartbeat checks from the dedicated
+// hbRng so their presence cannot shift the main stream.
+func (r *timelineRun) sampleStragglers(rng *simtime.Rand) int {
+	ids := make([]int, 0, len(r.live))
+	for id, vm := range r.live {
+		if !vm.slow {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	hb := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		hb[id] = r.live[id].speed * (1 + 0.02*rng.NormFloat64())
+	}
+	flagged := DetectStragglers(hb, r.mg.Opts.StragglerThreshold)
+	for _, id := range flagged {
+		r.live[id].slow = true
+		r.stats.StragglersExcluded++
+	}
+	return len(flagged)
+}
+
+// heartbeatCheck is the mid-segment fail-stutter sweep on the
+// dedicated heartbeat noise stream.
+func (r *timelineRun) heartbeatCheck() int {
+	return r.sampleStragglers(r.mg.hbRng)
 }
 
 // usableGPUs sums the fleet, excluding flagged stragglers.
@@ -265,22 +529,10 @@ func (r *timelineRun) usableGPUs() int {
 	return g
 }
 
-// flagStragglers runs the fail-stutter detector over simulated
-// compute heartbeats and reports how many VMs it newly excluded.
+// flagStragglers runs the morph-time fail-stutter sweep on the
+// manager's main noise stream.
 func (r *timelineRun) flagStragglers() int {
-	hb := make(map[int]float64, len(r.live))
-	for id, vm := range r.live {
-		if vm.slow {
-			continue
-		}
-		hb[id] = vm.speed * (1 + 0.02*r.mg.rng.NormFloat64())
-	}
-	flagged := DetectStragglers(hb, r.mg.Opts.StragglerThreshold)
-	for _, id := range flagged {
-		r.live[id].slow = true
-		r.stats.StragglersExcluded++
-	}
-	return len(flagged)
+	return r.sampleStragglers(r.mg.rng)
 }
 
 // morph reacts to a fleet change. Fleet sizes are quantized (rounded
@@ -313,11 +565,14 @@ func (r *timelineRun) morph(label string, forced bool) {
 	// rolled back to 0, so nothing (spurious) is flushed there.
 	dirty := r.running && r.sinceCkpt > 0
 
+	obj := r.mg.Opts.Objective
 	var choice autoconfig.Choice
 	var down simtime.Duration
 	var err error
 	switch {
 	case r.mg.Opts.Policy == PolicyConstant:
+		// The paper's flat-constant ablation predates the dollar
+		// objectives and ignores them: always the throughput-best.
 		choice, err = r.mg.Plan.Best(g)
 		down = r.mg.Opts.ConstOverhead
 	case r.mg.Opts.Policy == PolicyMorphOrHold && r.running && !forced:
@@ -329,23 +584,47 @@ func (r *timelineRun) morph(label string, forced bool) {
 			if pre := r.gaps.ExpectedOf(spot.Preempt); pre < hz.Until {
 				hz.Until = pre
 			}
+			// Calibrate the hold discount from the per-kind hazard
+			// ratio once both tracks have observed gaps: the window
+			// fraction an allocation (rather than the forecast
+			// preemption) would arrive first in. Reclaim bursts push
+			// it below the legacy ½; balanced traffic reproduces it.
+			if !r.mg.legacyHoldDiscount &&
+				r.gaps.KindObservations(spot.Alloc) > 0 && r.gaps.KindObservations(spot.Preempt) > 0 {
+				ga := r.gaps.ExpectedOf(spot.Alloc)
+				gp := r.gaps.ExpectedOf(spot.Preempt)
+				d := float64(gp) / float64(gp+ga)
+				if d < 0.1 {
+					d = 0.1
+				}
+				if d > 0.9 {
+					d = 0.9
+				}
+				hz.HoldDiscount = d
+			}
 		}
 		var dec autoconfig.MorphDecision
-		dec, err = r.mg.Plan.BestOrHold(g, r.current, true, r.mg.RM, hz, dirty)
+		dec, err = r.mg.Plan.BestOrHoldObjective(g, r.current, true, r.mg.RM, hz, dirty, obj, r.econ())
 		if err == nil && !dec.Morph {
+			released := 0
+			if obj.Shrinks() {
+				released = r.releaseExcess(obj.RetainGPUs(r.current.GPUsUsed, r.econ()))
+			}
 			r.stats.Holds++
 			r.points = append(r.points, TimelinePoint{
 				At: r.now, GPUs: g, Config: r.current,
-				ExPerSec: r.exCache[[2]int{r.current.P, r.current.D}],
-				Event:    "hold",
+				ExPerSec:     r.exCache[[2]int{r.current.P, r.current.D}],
+				Event:        "hold",
+				DollarsSpent: r.dollars(),
+				Released:     released,
 			})
 			return
 		}
 		choice, down = dec.Choice, dec.Costs.Total()
 	default:
 		// PolicyModeled, a cold start, or a forced restart: morph to
-		// the sweep's best and charge the modeled price.
-		choice, err = r.mg.Plan.Best(g)
+		// the objective's best and charge the modeled price.
+		choice, err = r.mg.Plan.BestFor(g, obj, r.econ())
 		if err == nil {
 			var old restart.Assignment
 			if r.running {
@@ -356,9 +635,16 @@ func (r *timelineRun) morph(label string, forced bool) {
 	}
 	if err != nil {
 		r.running = false
-		r.points = append(r.points, TimelinePoint{At: r.now, GPUs: g, Event: "down"})
+		r.points = append(r.points, TimelinePoint{At: r.now, GPUs: g, Event: "down", DollarsSpent: r.dollars()})
 		return
 	}
+	released := 0
+	if obj.Shrinks() {
+		// The release takes effect at the decision instant, so the
+		// downtime below bills the shrunken fleet.
+		released = r.releaseExcess(obj.RetainGPUs(choice.GPUsUsed, r.econ()))
+	}
+	r.chargeDowntime(r.now.Add(down))
 	r.stats.Downtime += down
 	r.stats.MorphDowntime += down
 	r.now = r.now.Add(down)
@@ -401,6 +687,7 @@ func (r *timelineRun) morph(label string, forced bool) {
 	r.points = append(r.points, TimelinePoint{
 		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCache[key],
 		Event: label, Downtime: down,
+		DollarsSpent: r.dollars(), Released: released,
 	})
 }
 
@@ -437,14 +724,21 @@ func (r *timelineRun) reschedule() {
 // back on preemption, morph when the fleet changed, otherwise train
 // until the next event or the horizon.
 func (r *timelineRun) step(int32, int32) {
+	r.applyDegradations()
 	fleetChanged := false
 	preempted := false
 	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
-		r.gaps.ObserveKind(r.events[r.evIdx].At, r.events[r.evIdx].Kind)
-		pre := r.applyEvent(r.events[r.evIdx])
+		ev := r.events[r.evIdx]
+		r.evIdx++
+		if ev.Kind == spot.Preempt && r.released[ev.VM] {
+			// A VM we already returned to the market: the provider
+			// reclaiming it is no longer our fleet event.
+			continue
+		}
+		r.gaps.ObserveKind(ev.At, ev.Kind)
+		pre := r.applyEvent(ev)
 		preempted = preempted || pre
 		fleetChanged = true
-		r.evIdx++
 	}
 	if preempted && r.running {
 		// Roll back to the last checkpoint.
@@ -454,16 +748,7 @@ func (r *timelineRun) step(int32, int32) {
 		r.sinceCkpt = 0
 	}
 	if fleetChanged || !r.running {
-		r.morph("morph", preempted)
-		if !r.running {
-			// Nothing usable: fast-forward to the next event.
-			if r.evIdx < len(r.events) {
-				r.now = simtime.Max(r.now, r.events[r.evIdx].At)
-				r.reschedule()
-			}
-			return
-		}
-		r.reschedule()
+		r.morphAndReschedule(preempted)
 		return
 	}
 
@@ -478,16 +763,56 @@ func (r *timelineRun) step(int32, int32) {
 		r.stats.Examples += float64(r.current.Examples)
 		r.sinceCkpt++
 		if r.sinceCkpt >= r.mg.Opts.CheckpointEvery {
+			r.chargeTraining(r.now)
 			r.now = r.now.Add(r.mg.Opts.CheckpointOverhead)
+			r.chargeDowntime(r.now)
 			r.stats.Downtime += r.mg.Opts.CheckpointOverhead
 			r.stats.Checkpoints++
 			r.sinceCkpt = 0
 			r.points = append(r.points, TimelinePoint{
 				At: r.now, GPUs: r.usableGPUs(), Config: r.current,
-				ExPerSec: float64(r.current.Examples) / r.mbTime.Seconds(),
-				Event:    "checkpoint",
+				ExPerSec:     float64(r.current.Examples) / r.mbTime.Seconds(),
+				Event:        "checkpoint",
+				DollarsSpent: r.dollars(),
 			})
 		}
+		// Periodic heartbeat check between fleet events: a VM whose
+		// compute pace degraded mid-segment is flagged here, within
+		// one interval of the onset, instead of surviving undetected
+		// until the next allocation or preemption. A flag forces a
+		// reconfiguration (excluding a VM from a running pipeline IS
+		// one) and invalidates the segment's cached measurement so
+		// the testbed re-measures the mini-batch time.
+		if r.mg.Opts.HeartbeatEvery > 0 && r.now >= r.nextHB {
+			r.nextHB = r.now.Add(r.mg.Opts.HeartbeatEvery)
+			r.applyDegradations()
+			if r.heartbeatCheck() > 0 {
+				r.chargeTraining(r.now)
+				key := [2]int{r.current.P, r.current.D}
+				delete(r.mbCache, key)
+				delete(r.exCache, key)
+				r.morphAndReschedule(true)
+				return
+			}
+		}
+	}
+	r.chargeTraining(r.now)
+	r.reschedule()
+}
+
+// morphAndReschedule runs one reconfiguration and queues the loop's
+// continuation; with nothing usable it bills the gap as idle and
+// fast-forwards to the next fleet event.
+func (r *timelineRun) morphAndReschedule(forced bool) {
+	r.morph("morph", forced)
+	if !r.running {
+		if r.evIdx < len(r.events) {
+			at := simtime.Max(r.now, r.events[r.evIdx].At)
+			r.chargeIdle(at)
+			r.now = at
+			r.reschedule()
+		}
+		return
 	}
 	r.reschedule()
 }
@@ -505,19 +830,51 @@ func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([
 		prior = DefaultEventGapPrior
 	}
 	r := &timelineRun{
-		mg:      mg,
-		events:  events,
-		hz:      simtime.Time(horizon),
-		gaps:    spot.NewGapEstimator(prior),
-		live:    make(map[int]*vmInfo),
-		mbCache: make(map[[2]int]simtime.Duration),
-		exCache: make(map[[2]int]float64),
+		mg:       mg,
+		events:   events,
+		hz:       simtime.Time(horizon),
+		gaps:     spot.NewGapEstimator(prior),
+		live:     make(map[int]*vmInfo),
+		mbCache:  make(map[[2]int]simtime.Duration),
+		exCache:  make(map[[2]int]float64),
+		released: make(map[int]bool),
 	}
+	switch {
+	case mg.Opts.Meter != nil:
+		// A warm meter carries cumulative spend across manager
+		// restarts (restored by restart.LoadSections).
+		r.meter = mg.Opts.Meter
+	case mg.Opts.Prices != nil:
+		r.meter = price.NewMeter(mg.Opts.Prices)
+	}
+	if r.meter != nil {
+		r.meanRate = r.meter.Curve().Mean(0, simtime.Time(horizon))
+		for b := price.Bucket(0); b < price.NumBuckets; b++ {
+			r.baseDollars[b] = r.meter.InBucket(b)
+		}
+		r.baseTotal = r.meter.Total()
+	}
+	if len(mg.Degrade) > 0 {
+		r.degs = append(r.degs, mg.Degrade...)
+		sort.SliceStable(r.degs, func(i, j int) bool { return r.degs[i].At < r.degs[j].At })
+	}
+	r.nextHB = simtime.Time(mg.Opts.HeartbeatEvery)
 	r.onStep = r.step
 	r.reschedule()
 	r.q.Run(0)
 	if r.stats.Examples < 0 {
 		r.stats.Examples = 0
+	}
+	if r.meter != nil {
+		// Bill any unmetered tail (a dead fleet outliving its last
+		// event) and publish the totals.
+		if r.acc < simtime.Time(horizon) {
+			r.chargeIdle(simtime.Time(horizon))
+		}
+		r.stats.DollarsSpent = r.meter.Total() - r.baseTotal
+		r.stats.DollarsCompute = r.meter.InBucket(price.Compute) - r.baseDollars[price.Compute]
+		r.stats.DollarsReconfig = r.meter.InBucket(price.Reconfig) - r.baseDollars[price.Reconfig]
+		r.stats.DollarsIdle = r.meter.InBucket(price.Idle) - r.baseDollars[price.Idle]
 	}
 	return r.points, r.stats, nil
 }
@@ -535,6 +892,15 @@ func (o Options) Validate() error {
 	}
 	if o.Policy == PolicyConstant && o.ConstOverhead <= 0 {
 		return fmt.Errorf("manager: PolicyConstant needs ConstOverhead > 0")
+	}
+	if o.HeartbeatEvery < 0 {
+		return fmt.Errorf("manager: HeartbeatEvery must be >= 0")
+	}
+	if err := o.Objective.Validate(); err != nil {
+		return err
+	}
+	if o.Objective.Kind != autoconfig.ObjMaxThroughput && o.Prices == nil && o.Meter == nil {
+		return fmt.Errorf("manager: objective %v needs a price curve (Options.Prices or Options.Meter)", o.Objective.Kind)
 	}
 	return nil
 }

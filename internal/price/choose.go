@@ -1,0 +1,71 @@
+package price
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// Kind describes one candidate VM market for ChooseMarket: a price
+// curve plus the preemption economics of holding a fleet there. The
+// hazard inputs are exactly what the decision stack already tracks —
+// PreemptEvery is the per-kind EWMA gap a spot.GapEstimator reports
+// for preemption events (or a market's analytic hazard before any are
+// observed), and RestartCost is the restart.Model price of the forced
+// reconfiguration each preemption triggers, plus the expected rollback
+// loss.
+type Kind struct {
+	// Name labels the VM kind ("1-GPU spot", "4-GPU spot").
+	Name string
+	// Curve is the kind's spot price.
+	Curve *Curve
+	// GPUs is the fleet size the job would hold on this kind.
+	GPUs int
+	// ExPerSec is the job's steady-state throughput at that fleet.
+	ExPerSec float64
+	// PreemptEvery is the expected gap between preemption events
+	// (spot.GapEstimator.ExpectedOf(spot.Preempt)).
+	PreemptEvery simtime.Duration
+	// RestartCost is the expected downtime plus rollback loss paid per
+	// preemption.
+	RestartCost simtime.Duration
+}
+
+// DollarsPerExample reports the kind's expected training cost over
+// [0, horizon]: mean-price dollars for the held fleet, divided by the
+// examples the job produces at its uptime-discounted throughput. Each
+// expected preemption window of length PreemptEvery ends with
+// RestartCost of paid-but-unproductive time, so the uptime fraction is
+// PreemptEvery / (PreemptEvery + RestartCost). +Inf when the kind
+// produces no examples at all.
+func (k Kind) DollarsPerExample(horizon simtime.Duration) float64 {
+	hours := horizon.Seconds() / 3600
+	dollars := k.Curve.Mean(0, simtime.Time(horizon)) * float64(k.GPUs) * hours
+	uptime := 1.0
+	if k.PreemptEvery > 0 {
+		uptime = float64(k.PreemptEvery) / float64(k.PreemptEvery+k.RestartCost)
+	}
+	examples := k.ExPerSec * uptime * horizon.Seconds()
+	if examples <= 0 {
+		return math.Inf(1)
+	}
+	return dollars / examples
+}
+
+// ChooseMarket picks the VM kind minimizing expected dollars per
+// example over the horizon — the cheap-but-volatile vs
+// pricier-but-stable trade. Scores come back aligned with kinds; ties
+// go to the earlier kind, and best is -1 only for an empty slate. A
+// pure function of its inputs: re-evaluating as the GapEstimator's
+// hazards drift re-decides deterministically.
+func ChooseMarket(horizon simtime.Duration, kinds []Kind) (best int, scores []float64) {
+	best = -1
+	scores = make([]float64, len(kinds))
+	for i, k := range kinds {
+		scores[i] = k.DollarsPerExample(horizon)
+		if best < 0 || scores[i] < scores[best] {
+			best = i
+		}
+	}
+	return best, scores
+}

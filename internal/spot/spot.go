@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/price"
 	"repro/internal/simtime"
 )
 
@@ -34,6 +35,12 @@ type Market struct {
 	// preemption pressure applies (preemptions are more likely when
 	// the pool is tight).
 	MeanHold simtime.Duration
+	// Prices is the market's spot price curve in dollars per
+	// GPU-hour. Nil means unpriced — availability dynamics only, the
+	// pre-dollar behavior. core.Job.RunOnSpotMarketOpts forwards a
+	// market's curve into the manager's cost accounting when the
+	// caller didn't supply one explicitly.
+	Prices *price.Curve
 
 	rng  *simtime.Rand
 	held int // GPUs currently granted to us
@@ -262,6 +269,29 @@ func (e *GapEstimator) Observations() int { return e.n }
 // KindObservations reports how many same-kind gaps back ExpectedOf for
 // the given kind.
 func (e *GapEstimator) KindObservations(kind EventKind) int { return e.kinds[kind].n }
+
+// KindFor bridges this market's observed economics into a price.Kind
+// for ChooseMarket: the market's price curve plus the preemption gap
+// the estimator measured from a real event stream (falling back to
+// the market's analytic hazard at time 0 before any preemption gap
+// has been observed). exPerSec is the job's steady-state throughput
+// on a gpus-GPU fleet of this kind and restartCost the expected
+// downtime-plus-rollback paid per preemption (restart.Model pricing).
+func (mk *Market) KindFor(name string, gpus int, exPerSec float64, gaps *GapEstimator, restartCost simtime.Duration) price.Kind {
+	vms := (gpus + mk.GPUsPerVM - 1) / mk.GPUsPerVM
+	preemptEvery := mk.ExpectedNextEvent(0, vms)
+	if gaps != nil && gaps.KindObservations(Preempt) > 0 {
+		preemptEvery = gaps.ExpectedOf(Preempt)
+	}
+	return price.Kind{
+		Name:         name,
+		Curve:        mk.Prices,
+		GPUs:         gpus,
+		ExPerSec:     exPerSec,
+		PreemptEvery: preemptEvery,
+		RestartCost:  restartCost,
+	}
+}
 
 // Sample is one point of an availability trace.
 type Sample struct {
