@@ -3,10 +3,20 @@
 // parametrized simulator (§4.4), and prints the predicted throughput of
 // every feasible configuration plus the chosen one.
 //
+// The `run` subcommand is the scenario front door: it executes a
+// declarative scenario file (fleet spec + scripted/chaos event
+// timeline) end-to-end through the §4.6 manager and prints the
+// structured run report. The same file and seeds always replay to a
+// bit-identical timeline.
+//
 // Usage:
 //
 //	varuna-sim -model gpt2-8.3b -gpus 128 -batch 8192
 //	varuna-sim -model gpt2-2.5b -gpus 100 -vm 4      # 4-GPU VMs
+//	varuna-sim run scenario.yaml                     # run a scenario file
+//	varuna-sim run elastic                           # or a committed scenario
+//	varuna-sim run chaos-stress -json report.json    # machine-readable report
+//	varuna-sim run restart-cost -state ./state       # persist planner+meter
 package main
 
 import (
@@ -18,6 +28,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/scenario"
+	"repro/scenarios"
 )
 
 func specByName(name string) (*model.Spec, bool) {
@@ -30,7 +42,82 @@ func specByName(name string) (*model.Spec, bool) {
 	return nil, false
 }
 
+// runScenario implements `varuna-sim run <scenario>`: load (from disk
+// or the committed scenarios/ set), compile, execute, report.
+func runScenario(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
+	stateDir := fs.String("state", "", "state directory: load planner+meter before the run, save after")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: varuna-sim run <scenario.yaml | committed name> [-json path] [-state dir]\ncommitted scenarios:\n")
+		entries, _ := scenarios.FS.ReadDir(".")
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".yaml") {
+				fmt.Fprintf(os.Stderr, "  %s\n", strings.TrimSuffix(e.Name(), ".yaml"))
+			}
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	name := fs.Arg(0)
+	// Accept flags after the scenario name too (`run chaos-stress
+	// -json r.json`): flag parsing stops at the first positional.
+	fs.Parse(fs.Args()[1:])
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var sc *scenario.Scenario
+	var err error
+	if _, statErr := os.Stat(name); statErr == nil {
+		sc, err = scenario.Load(name)
+	} else if data, fsErr := scenarios.FS.ReadFile(strings.TrimSuffix(name, ".yaml") + ".yaml"); fsErr == nil {
+		sc, err = scenario.Parse(data)
+	} else {
+		err = fmt.Errorf("%q is neither a file nor a committed scenario", name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
+	res, err := scenario.Run(sc, *stateDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Report.Summary())
+
+	if *jsonOut != "" {
+		data, err := res.Report.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			os.Exit(1)
+		}
+	}
+	if len(res.Report.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		runScenario(os.Args[2:])
+		return
+	}
 	modelName := flag.String("model", "GPT2-2.5B", "model name (see model zoo)")
 	gpus := flag.Int("gpus", 100, "available GPUs")
 	batch := flag.Int("batch", 8192, "global mini-batch size")

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/scenarios"
+)
+
+// ChaosStress runs the committed chaos-stress scenario — the seeded
+// soak regime behind the scenario DSL: a 1200-GPU-target spot fleet
+// churning through 1000+ VM allocations over twelve hours while the
+// chaos generator layers Poisson preemptions, correlated
+// mass-preemption bursts, sub-threshold stragglers, fail-stutter
+// degradation, network-degradation episodes and price shocks on top
+// of the market's own dynamics. The experiment errors if the run
+// breaks any robustness invariant (lost progress, double billing, a
+// clock running backwards), if the fleet never reaches soak scale, or
+// if chaos starves training entirely — the acceptance gate that the
+// manager stays internally consistent under sustained abuse.
+func ChaosStress(x *Ctx) (*Table, error) {
+	data, err := scenarios.FS.ReadFile("chaos-stress.yaml")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scenario.Run(sc, "")
+	if err != nil {
+		return nil, err
+	}
+	rep, s := res.Report, res.Stats
+
+	t := &Table{
+		Title:  fmt.Sprintf("Chaos-stress: %s", sc.Description),
+		Header: []string{"Metric", "Value"},
+	}
+	t.Add("horizon", fmt.Sprintf("%.1fh", rep.HorizonHours))
+	t.Add("market events", fmt.Sprint(rep.MarketEvents))
+	t.Add("scripted events", fmt.Sprintf("%d (%d skipped)", rep.ScriptEvents, rep.SkippedEvents))
+	t.Add("VM allocations", fmt.Sprint(s.Allocations))
+	t.Add("preemptions", fmt.Sprint(s.Preemptions))
+	t.Add("morphs / holds", fmt.Sprintf("%d / %d", s.Morphs, s.Holds))
+	t.Add("mini-batches", fmt.Sprintf("%d (%.2fM examples, %d lost)", s.MiniBatches, s.Examples/1e6, s.LostMiniBatches))
+	t.Add("stragglers excluded", fmt.Sprint(s.StragglersExcluded))
+	t.Add("downtime", fmt.Sprintf("%v (%.1f%% of horizon)", s.Downtime, 100*rep.DowntimeFrac))
+	t.Add("recovery", fmt.Sprintf("%d acked, mean %.0fs, max %.0fs", rep.Recovery.Acknowledged, rep.Recovery.MeanSeconds, rep.Recovery.MaxSeconds))
+	t.Add("dollars", fmt.Sprintf("$%.0f = $%.0f compute + $%.0f reconfig + $%.0f idle",
+		s.DollarsSpent, s.DollarsCompute, s.DollarsReconfig, s.DollarsIdle))
+	t.Add("invariants", fmt.Sprintf("%d violations", len(rep.Violations)))
+	t.Notes = append(t.Notes,
+		"expanded from scenarios/chaos-stress.yaml by the seeded chaos generator; replays bit-identically",
+		"run it yourself: varuna-sim run chaos-stress")
+
+	if len(rep.Violations) > 0 {
+		return t, fmt.Errorf("chaos-stress: %d invariant violations: %s",
+			len(rep.Violations), strings.Join(rep.Violations, "; "))
+	}
+	if s.Allocations < 1000 {
+		return t, fmt.Errorf("chaos-stress: soak never reached scale: %d allocations < 1000", s.Allocations)
+	}
+	if s.Preemptions < 100 || s.MiniBatches == 0 || s.DollarsSpent <= 0 {
+		return t, fmt.Errorf("chaos-stress: degenerate run: %d preemptions, %d mini-batches, $%.2f",
+			s.Preemptions, s.MiniBatches, s.DollarsSpent)
+	}
+	return t, nil
+}

@@ -100,6 +100,16 @@ type Options struct {
 	// fleet capacity the chosen configuration cannot use and need a
 	// price curve to decide against.
 	Objective autoconfig.Objective
+	// MeasureStragglers wires the held fleet's unflagged slow VMs into
+	// every segment measurement as testbed.JobConfig.ExtraSlow, so a
+	// degrading VM shows up in the *measured* mini-batch time — not
+	// just in its heartbeat pace. Sub-threshold stragglers (too mild
+	// for StragglerThreshold to flag) then visibly slow the segment,
+	// and a heartbeat check whose slow set drifted re-measures the
+	// segment in place. Off by default: the historical manager
+	// measured every segment as if the surviving fleet were healthy,
+	// and scenario runs opt in.
+	MeasureStragglers bool
 }
 
 // DefaultEventGapPrior is the stable-window assumption used when
@@ -244,11 +254,34 @@ type Manager struct {
 	// the job's spec on the testbed's cluster by New; replace before a
 	// run to model different hardware.
 	RM *restart.Model
-	// Degrade injects mid-segment fail-stutter onset for scenario
-	// testing: each entry marks a VM whose compute heartbeat degrades
-	// at a given instant (the failure mode the periodic heartbeat
-	// checks exist to catch).
+	// Degrade, NetDegrade and ObjChange are the manager's scenario
+	// event schedules — the public injection API the scenario harness
+	// (internal/scenario) compiles its event scripts into. Each slice
+	// is applied in time order during RunTimeline; all three are
+	// deterministic (no randomness beyond the manager's own seeded
+	// streams), so a timeline replayed with the same schedules is
+	// bit-identical.
+	//
+	// Degrade marks VMs whose compute pace degrades at a given
+	// instant: fail-stutter onset (§4.6) when the factor exceeds
+	// StragglerThreshold (caught by a heartbeat check within one
+	// interval), or a sub-threshold straggler that survives detection
+	// and — with Options.MeasureStragglers — drags the measured
+	// mini-batch time instead.
 	Degrade []Degradation
+	// NetDegrade schedules network-degradation episodes: from each
+	// entry's instant the inter-stage sends and allreduces of every
+	// measurement take Factor× their healthy time (a later entry with
+	// Factor 1 restores health). The running segment is re-measured in
+	// place when an episode starts or ends.
+	NetDegrade []NetDegradation
+	// ObjChange re-targets the manager mid-run (a deadline pulled in,
+	// a switch from throughput to dollar economics): at each entry's
+	// instant the objective is swapped and the manager immediately
+	// re-decides its configuration, as if the fleet had changed.
+	// Non-throughput objectives require a price curve, like
+	// Options.Objective.
+	ObjChange []ObjectiveChange
 
 	rng *simtime.Rand
 	// hbRng draws the measurement noise of *periodic* heartbeat
@@ -272,6 +305,22 @@ type Degradation struct {
 	VM     int
 	At     simtime.Time
 	Factor float64
+}
+
+// NetDegradation marks a network-degradation onset: from At on, every
+// network cost in segment measurements (activation/gradient sends,
+// allreduces) is scaled by Factor. Factor 1 (or 0) restores a healthy
+// fabric; the latest due entry wins.
+type NetDegradation struct {
+	At     simtime.Time
+	Factor float64
+}
+
+// ObjectiveChange swaps the manager's optimization target at an
+// instant — the scenario lever behind mid-run deadline changes.
+type ObjectiveChange struct {
+	At        simtime.Time
+	Objective autoconfig.Objective
 }
 
 // New builds a manager with its own Planner for in.
@@ -334,9 +383,13 @@ type timelineRun struct {
 	mbTime    simtime.Duration
 	// Morph decisions are memoized by the Planner; the measured
 	// mini-batch time per executed configuration is cached here (one
-	// testbed measurement characterizes a stable segment).
+	// testbed measurement characterizes a stable segment). Only clean
+	// measurements — healthy network, no measured stragglers — enter
+	// the caches; exCur mirrors the running segment's throughput
+	// whether or not it was cacheable.
 	mbCache map[[2]int]simtime.Duration
 	exCache map[[2]int]float64
+	exCur   float64
 
 	// meter accounts dollars over the timeline (nil without a price
 	// curve); acc is the last metered instant — every clock advance
@@ -364,6 +417,19 @@ type timelineRun struct {
 	degs   []Degradation
 	degIdx int
 	nextHB simtime.Time
+	// nets/objs are the sorted network-degradation and
+	// objective-change schedules; netSlow is the factor currently in
+	// force (1 = healthy) and obj the objective currently in force.
+	// lastSlowFP fingerprints the straggler set the running segment
+	// was measured with, so a heartbeat check can tell when the
+	// measured pace went stale.
+	nets       []NetDegradation
+	netIdx     int
+	netSlow    float64
+	objs       []ObjectiveChange
+	objIdx     int
+	obj        autoconfig.Objective
+	lastSlowFP string
 }
 
 // paidGPUs sums the held fleet — everything the job pays for,
@@ -484,6 +550,119 @@ func (r *timelineRun) applyDegradations() {
 	}
 }
 
+// measuredSlow maps the held fleet's unflagged slow VMs onto replica
+// indices for a d-wide configuration — the ExtraSlow set a segment
+// measurement executes with under Options.MeasureStragglers. Healthy
+// and slow VMs are ranked together by id (deterministic) and assigned
+// replicas round-robin; a replica keeps the worst factor mapped onto
+// it. Flagged stragglers are already excluded from training and never
+// slow a measurement; what this surfaces is exactly the sub-threshold
+// degradation the detector lets through.
+func (r *timelineRun) measuredSlow(d int) map[int]float64 {
+	if !r.mg.Opts.MeasureStragglers || d < 1 {
+		return nil
+	}
+	ids := make([]int, 0, len(r.live))
+	for id, vm := range r.live {
+		if !vm.slow {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var out map[int]float64
+	for i, id := range ids {
+		if s := r.live[id].speed; s > 1 {
+			if out == nil {
+				out = make(map[int]float64)
+			}
+			rep := i % d
+			if s > out[rep] {
+				out[rep] = s
+			}
+		}
+	}
+	return out
+}
+
+// slowFP fingerprints a measured-straggler set so heartbeat checks can
+// detect drift since the last measurement.
+func slowFP(m map[int]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	reps := make([]int, 0, len(m))
+	for rep := range m {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	var b []byte
+	for _, rep := range reps {
+		b = fmt.Appendf(b, "%d:%g;", rep, m[rep])
+	}
+	return string(b)
+}
+
+// applyNetDue advances the network-degradation schedule to the current
+// instant and reports whether the in-force factor changed.
+func (r *timelineRun) applyNetDue() bool {
+	changed := false
+	for r.netIdx < len(r.nets) && r.nets[r.netIdx].At <= r.now {
+		f := r.nets[r.netIdx].Factor
+		r.netIdx++
+		if f <= 0 {
+			f = 1
+		}
+		if f != r.netSlow {
+			r.netSlow = f
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyObjDue advances the objective-change schedule to the current
+// instant and reports whether the objective moved.
+func (r *timelineRun) applyObjDue() bool {
+	changed := false
+	for r.objIdx < len(r.objs) && r.objs[r.objIdx].At <= r.now {
+		r.obj = r.objs[r.objIdx].Objective
+		r.objIdx++
+		changed = true
+	}
+	return changed
+}
+
+// remeasure re-executes the running configuration on the testbed with
+// the current straggler and network state and records a timeline point
+// labeled event — the mid-segment path scenario conditions take into
+// the *measured* mini-batch time (straggler onset below the detection
+// threshold, a degrading network) without a reconfiguration.
+func (r *timelineRun) remeasure(event string) bool {
+	choice := r.current
+	slow := r.measuredSlow(choice.D)
+	ms, err := r.mg.TB.MeasureMiniBatch(testbed.JobConfig{
+		Spec:      r.mg.In.Spec,
+		Stages:    choice.Stages,
+		M:         choice.M,
+		Nm:        choice.Nm,
+		D:         choice.D,
+		ExtraSlow: slow,
+		NetSlow:   r.netSlow,
+		NoTrace:   true,
+	})
+	if err != nil {
+		r.running = false
+		return false
+	}
+	r.mbTime, r.exCur = ms.MiniBatchTime, ms.ExPerSec()
+	r.lastSlowFP = slowFP(slow)
+	r.points = append(r.points, TimelinePoint{
+		At: r.now, GPUs: r.usableGPUs(), Config: choice, ExPerSec: r.exCur,
+		Event: event, DollarsSpent: r.dollars(),
+	})
+	return true
+}
+
 // sampleStragglers runs one fail-stutter sweep: sample a compute
 // heartbeat per healthy VM (in sorted-id order, so the id→noise-draw
 // pairing — and hence the flagged set — is deterministic), flag
@@ -565,7 +744,7 @@ func (r *timelineRun) morph(label string, forced bool) {
 	// rolled back to 0, so nothing (spurious) is flushed there.
 	dirty := r.running && r.sinceCkpt > 0
 
-	obj := r.mg.Opts.Objective
+	obj := r.obj
 	var choice autoconfig.Choice
 	var down simtime.Duration
 	var err error
@@ -613,7 +792,7 @@ func (r *timelineRun) morph(label string, forced bool) {
 			r.stats.Holds++
 			r.points = append(r.points, TimelinePoint{
 				At: r.now, GPUs: g, Config: r.current,
-				ExPerSec:     r.exCache[[2]int{r.current.P, r.current.D}],
+				ExPerSec:     r.exCur,
 				Event:        "hold",
 				DollarsSpent: r.dollars(),
 				Released:     released,
@@ -667,25 +846,34 @@ func (r *timelineRun) morph(label string, forced bool) {
 	// only reads summary metrics, so the measurement skips trace
 	// collection.
 	key := [2]int{choice.P, choice.D}
-	if _, ok := r.mbCache[key]; !ok {
+	slow := r.measuredSlow(choice.D)
+	clean := len(slow) == 0 && r.netSlow == 1
+	if mb, ok := r.mbCache[key]; clean && ok {
+		r.mbTime, r.exCur = mb, r.exCache[key]
+	} else {
 		ms, err := r.mg.TB.MeasureMiniBatch(testbed.JobConfig{
-			Spec:    r.mg.In.Spec,
-			Stages:  choice.Stages,
-			M:       choice.M,
-			Nm:      choice.Nm,
-			D:       choice.D,
-			NoTrace: true,
+			Spec:      r.mg.In.Spec,
+			Stages:    choice.Stages,
+			M:         choice.M,
+			Nm:        choice.Nm,
+			D:         choice.D,
+			ExtraSlow: slow,
+			NetSlow:   r.netSlow,
+			NoTrace:   true,
 		})
 		if err != nil {
 			r.running = false
 			return
 		}
-		r.mbCache[key] = ms.MiniBatchTime
-		r.exCache[key] = ms.ExPerSec()
+		if clean {
+			r.mbCache[key] = ms.MiniBatchTime
+			r.exCache[key] = ms.ExPerSec()
+		}
+		r.mbTime, r.exCur = ms.MiniBatchTime, ms.ExPerSec()
 	}
-	r.mbTime = r.mbCache[key]
+	r.lastSlowFP = slowFP(slow)
 	r.points = append(r.points, TimelinePoint{
-		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCache[key],
+		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCur,
 		Event: label, Downtime: down,
 		DollarsSpent: r.dollars(), Released: released,
 	})
@@ -725,6 +913,8 @@ func (r *timelineRun) reschedule() {
 // until the next event or the horizon.
 func (r *timelineRun) step(int32, int32) {
 	r.applyDegradations()
+	netChanged := r.applyNetDue()
+	objChanged := r.applyObjDue()
 	fleetChanged := false
 	preempted := false
 	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
@@ -749,6 +939,15 @@ func (r *timelineRun) step(int32, int32) {
 	}
 	if fleetChanged || !r.running {
 		r.morphAndReschedule(preempted)
+		return
+	}
+	if objChanged {
+		// A scheduled objective change re-decides immediately — the whole
+		// point of a deadline pull-in is that holding is no longer safe.
+		r.morphAndReschedule(false)
+		return
+	}
+	if netChanged && !r.remeasure("net") {
 		return
 	}
 
@@ -792,6 +991,32 @@ func (r *timelineRun) step(int32, int32) {
 				delete(r.mbCache, key)
 				delete(r.exCache, key)
 				r.morphAndReschedule(true)
+				return
+			}
+			// Sub-threshold drift: the sweep flagged nothing, but under
+			// MeasureStragglers the set of slow-but-tolerated VMs may
+			// still have changed since the segment was measured, and the
+			// measured mini-batch time must follow it.
+			if r.mg.Opts.MeasureStragglers {
+				if fp := slowFP(r.measuredSlow(r.current.D)); fp != r.lastSlowFP {
+					r.chargeTraining(r.now)
+					if !r.remeasure("straggler") {
+						return
+					}
+				}
+			}
+		}
+		// Scheduled conditions land at mini-batch boundaries mid-segment:
+		// an objective change forces a fresh decision, a network change
+		// re-measures the running configuration in place.
+		if r.applyObjDue() {
+			r.chargeTraining(r.now)
+			r.morphAndReschedule(false)
+			return
+		}
+		if r.applyNetDue() {
+			r.chargeTraining(r.now)
+			if !r.remeasure("net") {
 				return
 			}
 		}
@@ -857,6 +1082,24 @@ func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([
 	if len(mg.Degrade) > 0 {
 		r.degs = append(r.degs, mg.Degrade...)
 		sort.SliceStable(r.degs, func(i, j int) bool { return r.degs[i].At < r.degs[j].At })
+	}
+	r.netSlow = 1
+	r.obj = mg.Opts.Objective
+	if len(mg.NetDegrade) > 0 {
+		r.nets = append(r.nets, mg.NetDegrade...)
+		sort.SliceStable(r.nets, func(i, j int) bool { return r.nets[i].At < r.nets[j].At })
+	}
+	if len(mg.ObjChange) > 0 {
+		for _, oc := range mg.ObjChange {
+			if err := oc.Objective.Validate(); err != nil {
+				return nil, Stats{}, fmt.Errorf("manager: scheduled objective at %v: %w", oc.At, err)
+			}
+			if oc.Objective.Kind != autoconfig.ObjMaxThroughput && r.meter == nil {
+				return nil, Stats{}, fmt.Errorf("manager: scheduled objective %v at %v needs a price curve", oc.Objective.Kind, oc.At)
+			}
+		}
+		r.objs = append(r.objs, mg.ObjChange...)
+		sort.SliceStable(r.objs, func(i, j int) bool { return r.objs[i].At < r.objs[j].At })
 	}
 	r.nextHB = simtime.Time(mg.Opts.HeartbeatEvery)
 	r.onStep = r.step

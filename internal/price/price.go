@@ -169,6 +169,65 @@ func (c *Curve) Integrate(from, to simtime.Time) float64 {
 	return dollars
 }
 
+// Scaled returns a copy of the curve with every price in [from, to)
+// multiplied by factor — a capacity-crunch price shock (factor > 1) or
+// a promotional dip (factor < 1), layered over whatever shape the base
+// curve has. Breakpoints are inserted at the window edges so the base
+// curve is untouched outside it. Scaling the zero curve returns nil.
+func (c *Curve) Scaled(from, to simtime.Time, factor float64) (*Curve, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("price: negative shock factor %v", factor)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("price: shock window [%v, %v) is empty", from, to)
+	}
+	if c == nil || len(c.steps) == 0 {
+		return nil, nil
+	}
+	var steps []Step
+	push := func(at simtime.Time, p float64) {
+		if n := len(steps); n > 0 {
+			if steps[n-1].At == at {
+				steps[n-1].PerGPUHour = p
+				return
+			}
+			if steps[n-1].PerGPUHour == p {
+				return
+			}
+		}
+		steps = append(steps, Step{At: at, PerGPUHour: p})
+	}
+	// The first step's price extends backward, so a window starting
+	// before it shocks that backward extension too.
+	if from < c.steps[0].At {
+		push(from, c.steps[0].PerGPUHour*factor)
+		if to < c.steps[0].At {
+			push(to, c.steps[0].PerGPUHour)
+		}
+	}
+	for i, s := range c.steps {
+		end := simtime.Time(1<<63 - 1)
+		if i+1 < len(c.steps) {
+			end = c.steps[i+1].At
+		}
+		at := s.At
+		if at < from && end > from {
+			push(at, s.PerGPUHour)
+			at = from
+		}
+		in := at >= from && at < to
+		p := s.PerGPUHour
+		if in {
+			p *= factor
+		}
+		push(at, p)
+		if in && end > to {
+			push(to, s.PerGPUHour)
+		}
+	}
+	return &Curve{steps: steps}, nil
+}
+
 // Mean reports the time-weighted average price over [from, to] in
 // dollars per GPU-hour.
 func (c *Curve) Mean(from, to simtime.Time) float64 {

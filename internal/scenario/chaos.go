@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Expand generates the concrete event script a chaos spec describes:
+// Poisson arrivals for the rate-based streams (preemptions, straggler
+// and fail-stutter onsets), jittered periodic episodes for bursts,
+// network degradation and price shocks. Every stream draws from its
+// own seed-derived generator, so adding one stream never reshuffles
+// another and the same (spec, horizon) pair always expands to the
+// same script — the property deterministic replay rests on. Victims
+// are left unpinned (VM -1); the compiler resolves them against the
+// fleet actually alive at each instant.
+func (c *Chaos) Expand(horizon simtime.Duration) []Event {
+	var out []Event
+
+	// Poisson streams: exponential gaps at the requested rate.
+	poisson := func(seedOff int64, perHour float64, mk func(rng *simtime.Rand, at simtime.Duration) Event) {
+		if perHour <= 0 {
+			return
+		}
+		rng := simtime.NewRand(c.Seed + seedOff)
+		mean := simtime.Duration(float64(simtime.Hour) / perHour)
+		for t := rng.Exp(mean); t < horizon; t += rng.Exp(mean) {
+			out = append(out, mk(rng, t))
+		}
+	}
+	// Periodic streams: the nominal period with ±10% jitter per gap.
+	periodic := func(seedOff int64, every simtime.Duration, mk func(rng *simtime.Rand, at simtime.Duration) Event) {
+		if every <= 0 {
+			return
+		}
+		rng := simtime.NewRand(c.Seed + seedOff)
+		for t := rng.Jitter(every, 0.1); t < horizon; t += rng.Jitter(every, 0.1) {
+			out = append(out, mk(rng, t))
+		}
+	}
+	uniform := func(rng *simtime.Rand, r [2]float64) float64 {
+		return r[0] + (r[1]-r[0])*rng.Float64()
+	}
+
+	poisson(0, c.PreemptsPerHour, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "preempt", Count: 1, VM: -1}
+	})
+	if c.BurstSize > 0 {
+		periodic(1, c.BurstEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
+			return Event{At: at, Kind: "preempt", Count: c.BurstSize, VM: -1}
+		})
+	}
+	poisson(2, c.StragglersPerHour, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "straggler", VM: -1, Factor: uniform(rng, c.StragglerFactor)}
+	})
+	poisson(3, c.DegradesPerHour, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "degrade", VM: -1, Factor: uniform(rng, c.DegradeFactor)}
+	})
+	periodic(4, c.NetEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "net-degrade", Factor: uniform(rng, c.NetFactor), Duration: c.NetDuration}
+	})
+	periodic(5, c.ShockEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "price-shock", Factor: c.ShockFactor, Duration: c.ShockDuration}
+	})
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/manager"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+)
+
+// Report is the structured outcome of a scenario run: progress,
+// decisions, dollars, recovery latencies and the robustness-invariant
+// checks. It marshals to stable JSON (struct field order), so a
+// bit-identical replay emits byte-identical report files.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Version     int    `json:"version"`
+	Description string `json:"description,omitempty"`
+
+	HorizonHours float64 `json:"horizon_hours"`
+	// MarketEvents counts the merged fleet events delivered to the
+	// manager; ScriptEvents the scripted+chaos events compiled in;
+	// SkippedEvents the ones dropped for want of a live victim.
+	MarketEvents  int `json:"market_events"`
+	ScriptEvents  int `json:"script_events"`
+	SkippedEvents int `json:"skipped_events"`
+	TimelineLen   int `json:"timeline_len"`
+
+	Stats manager.Stats `json:"stats"`
+
+	// DowntimeFrac is total downtime over the horizon.
+	DowntimeFrac float64 `json:"downtime_frac"`
+
+	// Recovery summarizes preemption→decision latencies: how long the
+	// manager took to re-decide after each preemption it applied.
+	Recovery RecoveryStats `json:"recovery"`
+
+	// Violations lists failed robustness invariants (lost progress,
+	// double billing, a clock running backwards). Empty means the run
+	// is internally consistent.
+	Violations []string `json:"violations"`
+}
+
+// RecoveryStats aggregates preemption recovery latencies.
+type RecoveryStats struct {
+	// Acknowledged counts preemption instants followed by a manager
+	// decision point; Unacknowledged the rest (preemptions of
+	// voluntarily released VMs never reach the manager and land here).
+	Acknowledged   int     `json:"acknowledged"`
+	Unacknowledged int     `json:"unacknowledged"`
+	MeanSeconds    float64 `json:"mean_seconds"`
+	MaxSeconds     float64 `json:"max_seconds"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary renders the human-readable run summary.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	s := r.Stats
+	fmt.Fprintf(&b, "scenario %s: %.1fh horizon, %d market events, %d scripted (%d skipped)\n",
+		r.Scenario, r.HorizonHours, r.MarketEvents, r.ScriptEvents, r.SkippedEvents)
+	fmt.Fprintf(&b, "progress:  %d mini-batches (%.2fM examples), %d lost to rollbacks, %d checkpoints\n",
+		s.MiniBatches, s.Examples/1e6, s.LostMiniBatches, s.Checkpoints)
+	fmt.Fprintf(&b, "decisions: %d morphs, %d replacements, %d holds, %d stragglers excluded, %d VMs released\n",
+		s.Morphs, s.Replacements, s.Holds, s.StragglersExcluded, s.VMsReleased)
+	fmt.Fprintf(&b, "fleet:     %d allocations, %d preemptions\n", s.Allocations, s.Preemptions)
+	fmt.Fprintf(&b, "downtime:  %v total (%v reconfiguration) — %.1f%% of the horizon\n",
+		s.Downtime, s.MorphDowntime, 100*r.DowntimeFrac)
+	if s.DollarsSpent > 0 {
+		fmt.Fprintf(&b, "dollars:   $%.2f = $%.2f compute + $%.2f reconfig + $%.2f idle ($%.2f per 1k examples)\n",
+			s.DollarsSpent, s.DollarsCompute, s.DollarsReconfig, s.DollarsIdle, 1000*s.DollarsPerExample())
+	}
+	if r.Recovery.Acknowledged > 0 {
+		fmt.Fprintf(&b, "recovery:  %d preemptions acknowledged (mean %.0fs, max %.0fs), %d unacknowledged\n",
+			r.Recovery.Acknowledged, r.Recovery.MeanSeconds, r.Recovery.MaxSeconds, r.Recovery.Unacknowledged)
+	}
+	if len(r.Violations) == 0 {
+		b.WriteString("invariants: OK\n")
+	} else {
+		fmt.Fprintf(&b, "invariants: %d VIOLATIONS\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+func buildReport(c *Compiled, points []manager.TimelinePoint, stats manager.Stats) *Report {
+	r := &Report{
+		Scenario:      c.Scenario.Name,
+		Version:       Version,
+		Description:   c.Scenario.Description,
+		HorizonHours:  simtime.Time(c.Horizon).Hours(),
+		MarketEvents:  len(c.Events),
+		ScriptEvents:  c.ScriptEvents,
+		SkippedEvents: c.Skipped,
+		TimelineLen:   len(points),
+		Stats:         stats,
+		Violations:    []string{},
+	}
+	if c.Horizon > 0 {
+		r.DowntimeFrac = stats.Downtime.Seconds() / c.Horizon.Seconds()
+	}
+	r.Recovery = recoveryStats(c.Events, points)
+	r.Violations = append(r.Violations, checkInvariants(points, stats)...)
+	return r
+}
+
+// recoveryStats measures, for each preemption instant the trace
+// delivered, the latency until the manager's next decision point
+// (morph, replacement, hold, or declaring the fleet down).
+func recoveryStats(events []spot.Event, points []manager.TimelinePoint) RecoveryStats {
+	decision := func(e string) bool {
+		return e == "morph" || e == "p" || e == "hold" || e == "down"
+	}
+	var rs RecoveryStats
+	var sum float64
+	pi := 0
+	lastAt := simtime.Time(-1)
+	for _, ev := range events {
+		if ev.Kind != spot.Preempt || ev.At == lastAt {
+			continue // one recovery per instant: a burst is one decision
+		}
+		lastAt = ev.At
+		for pi < len(points) && (points[pi].At < ev.At || !decision(points[pi].Event)) {
+			pi++
+		}
+		if pi >= len(points) {
+			rs.Unacknowledged++
+			continue
+		}
+		lat := points[pi].At.Sub(ev.At).Seconds()
+		rs.Acknowledged++
+		sum += lat
+		if lat > rs.MaxSeconds {
+			rs.MaxSeconds = lat
+		}
+	}
+	if rs.Acknowledged > 0 {
+		rs.MeanSeconds = sum / float64(rs.Acknowledged)
+	}
+	return rs
+}
+
+// checkInvariants verifies the robustness properties every run must
+// hold, whatever the scenario throws at the manager: a monotone
+// clock, monotone cumulative spend whose buckets sum to the total (no
+// double billing, no lost billing), and non-negative progress
+// counters (no lost progress beyond what rollbacks account).
+func checkInvariants(points []manager.TimelinePoint, stats manager.Stats) []string {
+	var out []string
+	prevAt := simtime.Time(0)
+	prevDollars := 0.0
+	for i, p := range points {
+		if p.At < prevAt {
+			out = append(out, fmt.Sprintf("clock ran backwards at point %d: %v < %v", i, p.At, prevAt))
+		}
+		prevAt = p.At
+		if p.DollarsSpent < prevDollars-1e-9 {
+			out = append(out, fmt.Sprintf("cumulative dollars shrank at point %d: %.9f < %.9f", i, p.DollarsSpent, prevDollars))
+		}
+		if p.DollarsSpent > prevDollars {
+			prevDollars = p.DollarsSpent
+		}
+	}
+	if stats.DollarsSpent < prevDollars-1e-9 {
+		out = append(out, fmt.Sprintf("final bill %.9f below last timeline point %.9f", stats.DollarsSpent, prevDollars))
+	}
+	bucketSum := stats.DollarsCompute + stats.DollarsReconfig + stats.DollarsIdle
+	if diff := math.Abs(bucketSum - stats.DollarsSpent); diff > 1e-6*math.Max(1, stats.DollarsSpent) {
+		out = append(out, fmt.Sprintf("dollar buckets sum to %.9f but total is %.9f (double/lost billing)", bucketSum, stats.DollarsSpent))
+	}
+	if stats.Examples < 0 || stats.MiniBatches < 0 || stats.LostMiniBatches < 0 {
+		out = append(out, fmt.Sprintf("negative progress counters: %.0f examples, %d mini-batches, %d lost",
+			stats.Examples, stats.MiniBatches, stats.LostMiniBatches))
+	}
+	if stats.MorphDowntime > stats.Downtime || stats.Downtime < 0 {
+		out = append(out, fmt.Sprintf("downtime accounting inconsistent: %v reconfiguration > %v total", stats.MorphDowntime, stats.Downtime))
+	}
+	if stats.MiniBatches > 0 && stats.Examples <= 0 {
+		out = append(out, "mini-batches completed but no examples counted (lost progress)")
+	}
+	return out
+}

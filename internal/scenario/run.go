@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/manager"
+	"repro/internal/price"
+	"repro/internal/restart"
+)
+
+// Result is one scenario execution: the raw manager timeline and
+// stats, plus the structured report with invariant checks.
+type Result struct {
+	Compiled *Compiled
+	Points   []manager.TimelinePoint
+	Stats    manager.Stats
+	Report   *Report
+}
+
+// Run compiles and executes a scenario. stateDir, when non-empty,
+// warm-starts the planner cache and the cost meter from
+// <dir>/planner-state.json (if present) and persists both after the
+// run — the kill-and-resume discipline varuna-morph uses, so a
+// scenario interrupted and re-run continues its cumulative bill and
+// skips the cold planner sweep.
+func Run(sc *Scenario, stateDir string) (*Result, error) {
+	c, err := Compile(sc)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(stateDir)
+}
+
+// Run executes an already-compiled scenario. Repeated calls replay
+// bit-identically apart from planner-cache warmth, which changes cost
+// but never decisions.
+func (c *Compiled) Run(stateDir string) (*Result, error) {
+	sc := c.Scenario
+	opts := c.Opts
+	planner := c.Job.Planner()
+	var meter *price.Meter
+	var sections restart.Sections
+	if stateDir != "" {
+		sections = restart.Sections{restart.SectionPlanner: planner}
+		if opts.Prices != nil {
+			meter = price.NewMeter(opts.Prices)
+			sections[restart.SectionMeter] = meter
+		}
+		if _, err := restart.LoadSections(stateDir, sections); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		if meter != nil {
+			opts.Meter = meter
+		}
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	mg := manager.NewWithPlanner(c.Job.Inputs(), c.TB, planner, opts, sc.Run.ManagerSeed)
+	mg.Degrade = c.Degrade
+	mg.NetDegrade = c.NetSched
+	mg.ObjChange = c.ObjSched
+	points, stats, err := mg.RunTimeline(c.Events, c.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if stateDir != "" {
+		if err := restart.SaveSections(stateDir, sections); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+	return &Result{
+		Compiled: c,
+		Points:   points,
+		Stats:    stats,
+		Report:   buildReport(c, points, stats),
+	}, nil
+}

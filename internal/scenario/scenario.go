@@ -1,0 +1,667 @@
+// Package scenario is the declarative front door to the Varuna
+// simulator: a versioned file format describing a training job, a spot
+// market, an adversarial event script (preemption bursts, stragglers,
+// fail-stutter degradation, network degradation, price shocks, deadline
+// changes) and a seeded chaos generator that expands compact rate
+// specs into concrete events. A scenario compiles into the exact
+// inputs the manager (§4.6) already consumes — a spot.Event stream
+// plus the manager's Degrade/NetDegrade/ObjChange schedules — so the
+// same file with the same seeds replays to a bit-identical timeline,
+// stats and dollar meter, and a structured report checks the
+// robustness invariants (no lost progress, no double billing) after
+// every run.
+//
+//	sc, _ := scenario.Load("scenarios/chaos-stress.yaml")
+//	res, _ := scenario.Run(sc, "")
+//	fmt.Println(res.Report.Summary())
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Version is the scenario format version this package reads.
+const Version = 1
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	// Name identifies the scenario in reports and golden files.
+	Name string
+	// Description is free-form documentation.
+	Description string
+	// Job describes the training job (model, cluster, batch, seed).
+	Job JobSpec
+	// Market describes the spot market the fleet rides.
+	Market MarketSpec
+	// Run tunes the manager run (horizon, seeds, policy, objective).
+	Run RunSpec
+	// Prices optionally attaches a spot price curve.
+	Prices PriceSpec
+	// Events is the explicit scripted event list, in file order.
+	Events []Event
+	// Chaos, when present, generates additional events from rates.
+	Chaos *Chaos
+}
+
+// JobSpec names the model and resource pool.
+type JobSpec struct {
+	// Model is a model-zoo name ("GPT2-2.5B").
+	Model string
+	// VMGPUs is the spot VM size (1 or 4 GPUs).
+	VMGPUs int
+	// ClusterGPUs sizes the testbed resource pool.
+	ClusterGPUs int
+	// Batch is the global mini-batch size.
+	Batch int
+	// Seed seeds job calibration and the job's own testbed.
+	Seed int64
+}
+
+// MarketSpec parameterizes the spot market generating the base event
+// trace.
+type MarketSpec struct {
+	// BaseCapacity is the market's mean spare capacity in VMs.
+	BaseCapacity int
+	// Seed seeds the market's stochastic capacity process.
+	Seed int64
+	// MeanHold optionally overrides the mean VM hold time.
+	MeanHold simtime.Duration
+	// Probe is the allocation-probe cadence (default 10m).
+	Probe simtime.Duration
+}
+
+// RunSpec tunes the manager run.
+type RunSpec struct {
+	// TargetGPUs is the fleet size the manager keeps requesting.
+	TargetGPUs int
+	// Horizon is the simulated duration.
+	Horizon simtime.Duration
+	// ManagerSeed seeds the manager's stochastic streams.
+	ManagerSeed int64
+	// Testbed selects the cluster the manager measures on: "job" (the
+	// job's own calibrated testbed, the elastic-experiment wiring) or
+	// "fresh" (a new identically-parameterized testbed seeded with
+	// TestbedSeed, the ablation wiring).
+	Testbed string
+	// TestbedSeed seeds a "fresh" testbed.
+	TestbedSeed int64
+	// GapPrior selects the morph-or-hold stable-window prior:
+	// "default" (the manager's 30m fallback) or "market" (the market's
+	// analytic expected-next-event hazard).
+	GapPrior string
+	// Policy is the reconfiguration pricing policy: "morph-or-hold"
+	// (default), "modeled" or "constant".
+	Policy string
+	// Objective selects what morphs optimize: "max-throughput"
+	// (default), "min-dollar-per-example" or "deadline".
+	Objective string
+	// DeadlineAt and TargetExamples parameterize the deadline
+	// objective (DeadlineAt 0 means the horizon).
+	DeadlineAt     simtime.Duration
+	TargetExamples float64
+	// MeasureStragglers wires unflagged slow VMs into segment
+	// measurements (manager.Options.MeasureStragglers).
+	MeasureStragglers bool
+	// HeartbeatEvery overrides the mid-segment heartbeat cadence when
+	// >= 0 (-1, the unset default, keeps the manager default).
+	HeartbeatEvery simtime.Duration
+	// VictimSeed seeds scripted/chaos victim selection (which live VM
+	// a preemption or degradation hits). 0 derives it from the chaos
+	// seed, or the market seed when no chaos block is present.
+	VictimSeed int64
+}
+
+// PriceSpec attaches a spot price curve.
+type PriceSpec struct {
+	// Kind is "none" (default), "constant" or "mean-reverting".
+	Kind string
+	// PerGPUHour prices a constant curve.
+	PerGPUHour float64
+	// Mean/Vol/Reversion/Floor/Step parameterize a mean-reverting
+	// curve (price.MROptions).
+	Mean, Vol, Reversion, Floor float64
+	Step                        simtime.Duration
+	// Horizon bounds the generated curve (0 = the run horizon).
+	Horizon simtime.Duration
+	// Seed seeds a mean-reverting curve.
+	Seed int64
+}
+
+// Event is one scripted adversarial event. Kind selects which fields
+// apply.
+type Event struct {
+	// At is the event instant, relative to run start.
+	At simtime.Duration
+	// Kind is one of "preempt", "straggler", "degrade", "net-degrade",
+	// "price-shock", "objective".
+	Kind string
+	// Count sizes a preemption burst (default 1).
+	Count int
+	// VM pins the victim VM id; -1 (default) picks a live VM with the
+	// victim seed.
+	VM int
+	// Factor is the slowdown (straggler/degrade/net-degrade) or price
+	// multiplier (price-shock).
+	Factor float64
+	// Duration bounds a net-degrade or price-shock episode; 0 means
+	// until the horizon.
+	Duration simtime.Duration
+	// Objective/DeadlineAt/TargetExamples re-target the manager (kind
+	// "objective"), with the same semantics as RunSpec.
+	Objective      string
+	DeadlineAt     simtime.Duration
+	TargetExamples float64
+}
+
+// Chaos is the compact seeded chaos spec: rates and shapes the
+// generator expands into a concrete event script before compilation.
+type Chaos struct {
+	// Seed drives every generated stream; same spec + seed → same
+	// events.
+	Seed int64
+	// PreemptsPerHour adds Poisson single-VM preemptions.
+	PreemptsPerHour float64
+	// BurstEvery/BurstSize add correlated mass-preemptions of
+	// BurstSize VMs roughly every BurstEvery (±10% jitter).
+	BurstEvery simtime.Duration
+	BurstSize  int
+	// StragglersPerHour adds Poisson sub-threshold straggler onsets
+	// with factors uniform in StragglerFactor ([lo, hi]; default
+	// [1.05, 1.18] — below the detection threshold).
+	StragglersPerHour float64
+	StragglerFactor   [2]float64
+	// DegradesPerHour adds Poisson fail-stutter onsets with factors
+	// uniform in DegradeFactor (default [1.25, 1.45] — above the
+	// detection threshold, caught by heartbeats).
+	DegradesPerHour float64
+	DegradeFactor   [2]float64
+	// NetEvery/NetFactor/NetDuration add periodic network-degradation
+	// episodes.
+	NetEvery    simtime.Duration
+	NetFactor   [2]float64
+	NetDuration simtime.Duration
+	// ShockEvery/ShockFactor/ShockDuration add periodic price shocks.
+	ShockEvery    simtime.Duration
+	ShockFactor   float64
+	ShockDuration simtime.Duration
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Parse parses scenario file bytes, validating strictly: unknown keys,
+// unknown kinds and out-of-range values are errors, so a typo cannot
+// silently weaken a robustness scenario.
+func Parse(data []byte) (*Scenario, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	top, ok := root.(map[string]ynode)
+	if !ok {
+		return nil, fmt.Errorf("top level must be a map")
+	}
+	d := &decoder{}
+	t := d.section(top, "")
+
+	if v := t.str("version", ""); v != strconv.Itoa(Version) {
+		return nil, fmt.Errorf("unsupported version %q (want %d)", v, Version)
+	}
+	sc := &Scenario{
+		Name:        t.str("name", ""),
+		Description: t.str("description", ""),
+	}
+
+	j := d.section(t.child("job"), "job")
+	sc.Job = JobSpec{
+		Model:       j.str("model", "GPT2-2.5B"),
+		VMGPUs:      j.num("vm-gpus", 1),
+		ClusterGPUs: j.num("cluster-gpus", 0),
+		Batch:       j.num("batch", 8192),
+		Seed:        j.seed("seed", 1),
+	}
+	j.done()
+
+	m := d.section(t.child("market"), "market")
+	sc.Market = MarketSpec{
+		BaseCapacity: m.num("base-capacity", 0),
+		Seed:         m.seed("seed", 1),
+		MeanHold:     m.dur("mean-hold", 0),
+		Probe:        m.dur("probe", 10*simtime.Minute),
+	}
+	m.done()
+
+	r := d.section(t.child("run"), "run")
+	sc.Run = RunSpec{
+		TargetGPUs:        r.num("target-gpus", 0),
+		Horizon:           r.dur("horizon", 0),
+		ManagerSeed:       r.seed("manager-seed", 1),
+		Testbed:           r.enum("testbed", "job", "job", "fresh"),
+		TestbedSeed:       r.seed("testbed-seed", 1),
+		GapPrior:          r.enum("gap-prior", "default", "default", "market"),
+		Policy:            r.enum("policy", "morph-or-hold", "morph-or-hold", "modeled", "constant"),
+		Objective:         r.enum("objective", "max-throughput", "max-throughput", "min-dollar-per-example", "deadline"),
+		DeadlineAt:        r.dur("deadline-at", 0),
+		TargetExamples:    r.float("target-examples", 0),
+		MeasureStragglers: r.boolean("measure-stragglers", false),
+		HeartbeatEvery:    r.dur("heartbeat-every", -1),
+		VictimSeed:        r.seed("victim-seed", 0),
+	}
+	r.done()
+
+	if p := t.child("prices"); p != nil {
+		ps := d.section(p, "prices")
+		sc.Prices = PriceSpec{
+			Kind:       ps.enum("kind", "none", "none", "constant", "mean-reverting"),
+			PerGPUHour: ps.float("per-gpu-hour", 0),
+			Mean:       ps.float("mean", 0),
+			Vol:        ps.float("vol", 0),
+			Reversion:  ps.float("reversion", 0),
+			Floor:      ps.float("floor", 0),
+			Step:       ps.dur("step", 0),
+			Horizon:    ps.dur("horizon", 0),
+			Seed:       ps.seed("seed", 1),
+		}
+		ps.done()
+	} else {
+		sc.Prices.Kind = "none"
+	}
+
+	if evs := t.list("events"); evs != nil {
+		for i, en := range evs {
+			em, ok := en.(map[string]ynode)
+			if !ok {
+				d.errf("events[%d]: each event must be a map", i)
+				continue
+			}
+			es := d.section(em, fmt.Sprintf("events[%d]", i))
+			ev := Event{
+				At:   es.dur("at", 0),
+				Kind: es.enum("kind", "", "preempt", "straggler", "degrade", "net-degrade", "price-shock", "objective"),
+			}
+			switch ev.Kind {
+			case "preempt":
+				ev.Count = es.num("count", 1)
+				ev.VM = es.num("vm", -1)
+			case "straggler", "degrade":
+				ev.VM = es.num("vm", -1)
+				ev.Factor = es.float("factor", 0)
+			case "net-degrade", "price-shock":
+				ev.Factor = es.float("factor", 0)
+				ev.Duration = es.dur("duration", 0)
+			case "objective":
+				ev.Objective = es.enum("objective", "", "max-throughput", "min-dollar-per-example", "deadline")
+				ev.DeadlineAt = es.dur("deadline-at", 0)
+				ev.TargetExamples = es.float("target-examples", 0)
+			}
+			es.done()
+			sc.Events = append(sc.Events, ev)
+		}
+	}
+
+	if cn := t.child("chaos"); cn != nil {
+		cs := d.section(cn, "chaos")
+		sc.Chaos = &Chaos{
+			Seed:              cs.seed("seed", 1),
+			PreemptsPerHour:   cs.float("preempts-per-hour", 0),
+			BurstEvery:        cs.dur("burst-every", 0),
+			BurstSize:         cs.num("burst-size", 0),
+			StragglersPerHour: cs.float("stragglers-per-hour", 0),
+			StragglerFactor:   cs.frange("straggler-factor", [2]float64{1.05, 1.18}),
+			DegradesPerHour:   cs.float("degrades-per-hour", 0),
+			DegradeFactor:     cs.frange("degrade-factor", [2]float64{1.25, 1.45}),
+			NetEvery:          cs.dur("net-every", 0),
+			NetFactor:         cs.frange("net-factor", [2]float64{1.5, 1.5}),
+			NetDuration:       cs.dur("net-duration", 30*simtime.Minute),
+			ShockEvery:        cs.dur("shock-every", 0),
+			ShockFactor:       cs.float("shock-factor", 2),
+			ShockDuration:     cs.dur("shock-duration", 45*simtime.Minute),
+		}
+		cs.done()
+	}
+	t.done()
+
+	if d.err() == nil {
+		d.validate(sc)
+	}
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// validate cross-checks the decoded scenario.
+func (d *decoder) validate(sc *Scenario) {
+	if sc.Name == "" {
+		d.errf("name: required")
+	}
+	if sc.Job.ClusterGPUs < 1 {
+		d.errf("job.cluster-gpus: required and positive")
+	}
+	if sc.Job.VMGPUs != 1 && sc.Job.VMGPUs != 4 {
+		d.errf("job.vm-gpus: must be 1 or 4, got %d", sc.Job.VMGPUs)
+	}
+	if sc.Job.Batch < 1 {
+		d.errf("job.batch: must be positive")
+	}
+	if sc.Market.BaseCapacity < 1 {
+		d.errf("market.base-capacity: required and positive")
+	}
+	if sc.Run.TargetGPUs < 1 {
+		d.errf("run.target-gpus: required and positive")
+	}
+	if sc.Run.Horizon <= 0 {
+		d.errf("run.horizon: required and positive")
+	}
+	priced := sc.Prices.Kind != "none"
+	if sc.Run.Objective != "max-throughput" && !priced {
+		d.errf("run.objective %q needs a prices block", sc.Run.Objective)
+	}
+	for i, ev := range sc.Events {
+		at := fmt.Sprintf("events[%d] (%s)", i, ev.Kind)
+		if ev.At < 0 || ev.At > sc.Run.Horizon {
+			d.errf("%s: at %v outside [0, horizon]", at, ev.At)
+		}
+		switch ev.Kind {
+		case "preempt":
+			if ev.Count < 1 {
+				d.errf("%s: count must be positive", at)
+			}
+		case "straggler", "degrade":
+			if ev.Factor <= 1 {
+				d.errf("%s: factor must exceed 1", at)
+			}
+		case "net-degrade":
+			if ev.Factor < 1 {
+				d.errf("%s: factor must be >= 1", at)
+			}
+		case "price-shock":
+			if ev.Factor <= 0 {
+				d.errf("%s: factor must be positive", at)
+			}
+			if !priced {
+				d.errf("%s: needs a prices block", at)
+			}
+		case "objective":
+			if ev.Objective != "max-throughput" && !priced {
+				d.errf("%s: objective %q needs a prices block", at, ev.Objective)
+			}
+		}
+	}
+	if c := sc.Chaos; c != nil {
+		if c.ShockEvery > 0 && !priced {
+			d.errf("chaos.shock-every: needs a prices block")
+		}
+		for _, rg := range []struct {
+			name string
+			r    [2]float64
+		}{
+			{"straggler-factor", c.StragglerFactor},
+			{"degrade-factor", c.DegradeFactor},
+			{"net-factor", c.NetFactor},
+		} {
+			if rg.r[0] > rg.r[1] || rg.r[0] < 1 {
+				d.errf("chaos.%s: want [lo, hi] with 1 <= lo <= hi, got %v", rg.name, rg.r)
+			}
+		}
+	}
+	switch sc.Prices.Kind {
+	case "constant":
+		if sc.Prices.PerGPUHour <= 0 {
+			d.errf("prices.per-gpu-hour: required and positive for a constant curve")
+		}
+	case "mean-reverting":
+		if sc.Prices.Mean <= 0 {
+			d.errf("prices.mean: required and positive for a mean-reverting curve")
+		}
+	}
+}
+
+// decoder accumulates strict-decode errors across sections.
+type decoder struct {
+	errs []string
+}
+
+func (d *decoder) errf(format string, args ...any) {
+	d.errs = append(d.errs, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) err() error {
+	if len(d.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s", strings.Join(d.errs, "; "))
+}
+
+// section wraps one map node with typed, used-key-tracked accessors.
+type section struct {
+	d    *decoder
+	name string
+	m    map[string]ynode
+	used map[string]bool
+}
+
+func (d *decoder) section(n ynode, name string) *section {
+	s := &section{d: d, name: name, used: map[string]bool{}}
+	switch v := n.(type) {
+	case nil:
+		s.m = map[string]ynode{}
+	case map[string]ynode:
+		s.m = v
+	default:
+		d.errf("%s: must be a map", name)
+		s.m = map[string]ynode{}
+	}
+	return s
+}
+
+func (s *section) key(k string) string {
+	if s.name == "" {
+		return k
+	}
+	return s.name + "." + k
+}
+
+func (s *section) scalar(k string) (string, bool) {
+	s.used[k] = true
+	n, ok := s.m[k]
+	if !ok {
+		return "", false
+	}
+	str, ok := n.(string)
+	if !ok {
+		s.d.errf("%s: must be a scalar", s.key(k))
+		return "", false
+	}
+	return str, true
+}
+
+// child returns a nested node without type-checking it (the caller
+// wraps it in a section or list).
+func (s *section) child(k string) ynode {
+	s.used[k] = true
+	return s.m[k]
+}
+
+func (s *section) list(k string) []ynode {
+	s.used[k] = true
+	n, ok := s.m[k]
+	if !ok {
+		return nil
+	}
+	l, ok := n.([]ynode)
+	if !ok {
+		s.d.errf("%s: must be a list", s.key(k))
+		return nil
+	}
+	return l
+}
+
+func (s *section) str(k, def string) string {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	return v
+}
+
+func (s *section) enum(k, def string, allowed ...string) string {
+	v := s.str(k, def)
+	for _, a := range allowed {
+		if v == a {
+			return v
+		}
+	}
+	s.d.errf("%s: %q not one of %v", s.key(k), v, allowed)
+	return def
+}
+
+func (s *section) num(k string, def int) int {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		s.d.errf("%s: %q is not an integer", s.key(k), v)
+		return def
+	}
+	return i
+}
+
+func (s *section) seed(k string, def int64) int64 {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	i, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		s.d.errf("%s: %q is not an integer", s.key(k), v)
+		return def
+	}
+	return i
+}
+
+func (s *section) float(k string, def float64) float64 {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		s.d.errf("%s: %q is not a number", s.key(k), v)
+		return def
+	}
+	return f
+}
+
+func (s *section) boolean(k string, def bool) bool {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	switch v {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	s.d.errf("%s: %q is not true/false", s.key(k), v)
+	return def
+}
+
+func (s *section) dur(k string, def simtime.Duration) simtime.Duration {
+	v, ok := s.scalar(k)
+	if !ok {
+		return def
+	}
+	d, err := parseDuration(v)
+	if err != nil {
+		s.d.errf("%s: %v", s.key(k), err)
+		return def
+	}
+	return d
+}
+
+func (s *section) frange(k string, def [2]float64) [2]float64 {
+	s.used[k] = true
+	n, ok := s.m[k]
+	if !ok {
+		return def
+	}
+	l, ok := n.([]ynode)
+	if !ok || len(l) != 2 {
+		s.d.errf("%s: must be [lo, hi]", s.key(k))
+		return def
+	}
+	var out [2]float64
+	for i, e := range l {
+		str, _ := e.(string)
+		f, err := strconv.ParseFloat(str, 64)
+		if err != nil {
+			s.d.errf("%s: %q is not a number", s.key(k), str)
+			return def
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// done flags unknown keys in the section.
+func (s *section) done() {
+	var unknown []string
+	for k := range s.m {
+		if !s.used[k] {
+			unknown = append(unknown, s.key(k))
+		}
+	}
+	sort.Strings(unknown)
+	for _, k := range unknown {
+		s.d.errf("unknown key %q", k)
+	}
+}
+
+// parseDuration parses single-unit durations: "90s", "10m", "24h",
+// "1.5h", "500ms", "0".
+func parseDuration(s string) (simtime.Duration, error) {
+	if s == "0" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		unit   simtime.Duration
+	}{
+		{"ms", simtime.Millisecond},
+		{"s", simtime.Second},
+		{"m", simtime.Minute},
+		{"h", simtime.Hour},
+	}
+	for _, u := range units {
+		if !strings.HasSuffix(s, u.suffix) {
+			continue
+		}
+		num := strings.TrimSuffix(s, u.suffix)
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			break
+		}
+		return simtime.Duration(f*float64(u.unit) + 0.5), nil
+	}
+	return 0, fmt.Errorf("%q is not a duration (use e.g. 30s, 10m, 1.5h)", s)
+}

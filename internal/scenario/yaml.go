@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The scenario loader reads a small YAML subset — enough for the
+// declarative scenario format, hand-written because the repository
+// takes no dependencies. Supported: indentation-nested maps (spaces
+// only), `- ` block lists (including lists of inline maps), inline
+// flow lists `[a, b]`, `#` comments, double-quoted scalars. Every
+// scalar parses to a string; the typed decode in scenario.go owns
+// conversions. Unsupported YAML (anchors, multi-line scalars, tabs,
+// flow maps) is rejected with a line-numbered error.
+
+// ynode is one parsed node: map[string]ynode, []ynode, or string.
+type ynode any
+
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+func parseYAML(data []byte) (ynode, error) {
+	var lines []yline
+	for i, raw := range strings.Split(string(data), "\n") {
+		text, err := stripComment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range text {
+			if r == '\t' {
+				return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", i+1)
+			}
+			if r != ' ' {
+				break
+			}
+			indent++
+		}
+		lines = append(lines, yline{indent: indent, text: strings.TrimSpace(text), num: i + 1})
+	}
+	if len(lines) == 0 {
+		return map[string]ynode{}, nil
+	}
+	p := &yparser{lines: lines}
+	n, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("line %d: unexpected indentation", p.lines[p.pos].num)
+	}
+	return n, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting
+// double-quoted strings.
+func stripComment(s string) (string, error) {
+	inQuote := false
+	for i, r := range s {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == '#' && !inQuote:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i], nil
+			}
+		}
+	}
+	if inQuote {
+		return "", fmt.Errorf("unterminated quote")
+	}
+	return s, nil
+}
+
+func isItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yparser) block() (ynode, error) {
+	if isItem(p.lines[p.pos].text) {
+		return p.list(p.lines[p.pos].indent)
+	}
+	return p.mapping(p.lines[p.pos].indent)
+}
+
+func (p *yparser) mapping(ind int) (ynode, error) {
+	m := map[string]ynode{}
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == ind {
+		ln := p.lines[p.pos]
+		if isItem(ln.text) {
+			return nil, fmt.Errorf("line %d: list item inside a map", ln.num)
+		}
+		key, rest, err := splitKey(ln.text, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		switch {
+		case rest != "":
+			m[key] = scalarOrFlow(rest)
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > ind:
+			v, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		default:
+			m[key] = ""
+		}
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > ind {
+		return nil, fmt.Errorf("line %d: unexpected indentation", p.lines[p.pos].num)
+	}
+	return m, nil
+}
+
+func (p *yparser) list(ind int) (ynode, error) {
+	var out []ynode
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == ind {
+		ln := p.lines[p.pos]
+		if !isItem(ln.text) {
+			return nil, fmt.Errorf("line %d: map key inside a list", ln.num)
+		}
+		content := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if content == "" {
+			// `-` alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= ind {
+				return nil, fmt.Errorf("line %d: empty list item", ln.num)
+			}
+			v, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if key, rest, ok := tryKey(content); ok {
+			// `- key: value` starts an inline map; continuation entries
+			// follow at deeper indentation.
+			m := map[string]ynode{}
+			if rest != "" {
+				m[key] = scalarOrFlow(rest)
+			} else {
+				m[key] = ""
+			}
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > ind && !isItem(p.lines[p.pos].text) {
+				cont, err := p.mapping(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range cont.(map[string]ynode) {
+					if _, dup := m[k]; dup {
+						return nil, fmt.Errorf("line %d: duplicate key %q", ln.num, k)
+					}
+					m[k] = v
+				}
+			}
+			out = append(out, m)
+			continue
+		}
+		out = append(out, scalarOrFlow(content))
+		p.pos++
+	}
+	return out, nil
+}
+
+// splitKey parses `key: value` or `key:`.
+func splitKey(text string, num int) (key, rest string, err error) {
+	key, rest, ok := tryKey(text)
+	if !ok {
+		return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", num, text)
+	}
+	return key, rest, nil
+}
+
+// tryKey reports whether text is a map entry: a key followed by `:`
+// at end of text or `: `.
+func tryKey(text string) (key, rest string, ok bool) {
+	i := strings.Index(text, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	if i+1 < len(text) && text[i+1] != ' ' {
+		return "", "", false
+	}
+	key = strings.TrimSpace(text[:i])
+	if key == "" || strings.ContainsAny(key, " \"[]") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(text[i+1:]), true
+}
+
+// scalarOrFlow parses a scalar value or an inline `[a, b, c]` list.
+func scalarOrFlow(s string) ynode {
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []ynode{}
+		}
+		parts := strings.Split(inner, ",")
+		out := make([]ynode, len(parts))
+		for i, p := range parts {
+			out[i] = ynode(unquote(strings.TrimSpace(p)))
+		}
+		return out
+	}
+	return ynode(unquote(s))
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

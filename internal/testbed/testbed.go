@@ -150,6 +150,11 @@ type JobConfig struct {
 	// speed factor (1.3 = 30% slower), applied to every stage of that
 	// replica's pipeline.
 	ExtraSlow map[int]float64
+	// NetSlow scales every network cost — activation/gradient sends
+	// and allreduces — by the given factor: the testbed's
+	// network-degradation injection (an oversubscribed or flapping
+	// inter-node fabric). Zero or 1 means a healthy network.
+	NetSlow float64
 	// NoTrace skips task-trace collection: Measurement.Trace stays nil
 	// and the simulator takes its allocation-free fast path. The zero
 	// value keeps the trace, so Gantt-consuming callers (Figure 7)
@@ -165,6 +170,16 @@ type JobConfig struct {
 // estimated.
 func (tb *Testbed) TrueStageCosts(cfg JobConfig) []sim.StageCosts {
 	gpn := tb.Cluster.VM.GPUs
+	netSlow := cfg.NetSlow
+	if netSlow <= 0 {
+		netSlow = 1
+	}
+	scaleNet := func(d simtime.Duration) simtime.Duration {
+		if netSlow == 1 {
+			return d
+		}
+		return simtime.Duration(float64(d)*netSlow + 0.5)
+	}
 	costs := make([]sim.StageCosts, len(cfg.Stages))
 	for i, st := range cfg.Stages {
 		c := sim.StageCosts{
@@ -177,11 +192,11 @@ func (tb *Testbed) TrueStageCosts(cfg JobConfig) []sim.StageCosts {
 			if (i+1)%gpn == 0 || gpn == 1 {
 				link = tb.Cluster.Inter
 			}
-			c.ActSend = tb.Fabric.PointToPoint(st.SendBytes*int64(cfg.M), link)
+			c.ActSend = scaleNet(tb.Fabric.PointToPoint(st.SendBytes*int64(cfg.M), link))
 			c.GradSend = c.ActSend
 		}
 		if cfg.D > 1 {
-			c.AllReduce = tb.Fabric.HierarchicalAllReduce(st.Params*model.BytesPerParam, cfg.D, gpn, tb.Cluster.VM.Intra, tb.Cluster.Inter)
+			c.AllReduce = scaleNet(tb.Fabric.HierarchicalAllReduce(st.Params*model.BytesPerParam, cfg.D, gpn, tb.Cluster.VM.Intra, tb.Cluster.Inter))
 		}
 		c.Optimizer = tb.Cost.OptimizerStep(st, cfg.OffloadOptimizer)
 		costs[i] = c
