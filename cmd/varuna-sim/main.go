@@ -87,15 +87,35 @@ func runScenario(args []string) {
 	}
 
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
-	res, err := scenario.Run(sc, *stateDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-		os.Exit(1)
+
+	// A fleet-mode scenario runs N jobs through the arbiter and emits
+	// the fleet report; single-job scenarios keep the direct path.
+	var summary string
+	var jsonBytes func() ([]byte, error)
+	var violations []string
+	if sc.Fleet != nil {
+		if *stateDir != "" {
+			fmt.Fprintln(os.Stderr, "varuna-sim run: -state is not supported for fleet scenarios")
+			os.Exit(1)
+		}
+		res, err := scenario.RunFleet(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			os.Exit(1)
+		}
+		summary, jsonBytes, violations = res.Report.Summary(), res.Report.JSON, res.Report.Violations
+	} else {
+		res, err := scenario.Run(sc, *stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			os.Exit(1)
+		}
+		summary, jsonBytes, violations = res.Report.Summary(), res.Report.JSON, res.Report.Violations
 	}
-	fmt.Print(res.Report.Summary())
+	fmt.Print(summary)
 
 	if *jsonOut != "" {
-		data, err := res.Report.JSON()
+		data, err := jsonBytes()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
 			os.Exit(1)
@@ -108,7 +128,7 @@ func runScenario(args []string) {
 			os.Exit(1)
 		}
 	}
-	if len(res.Report.Violations) > 0 {
+	if len(violations) > 0 {
 		os.Exit(1)
 	}
 }

@@ -191,6 +191,11 @@ func (pl *Planner) candidatesFor(g int) ([]Choice, error) {
 		}
 	}
 	if len(out) == 0 {
+		if firstErr == nil {
+			// g = 0 skips every shrink level before a sweep can even
+			// run: surface the same dead-fleet error Sweep(0) would.
+			firstErr = fmt.Errorf("autoconfig: no GPUs")
+		}
 		return nil, firstErr
 	}
 	// Deterministic walk order: ascending throughput, ties broken

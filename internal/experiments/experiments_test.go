@@ -53,6 +53,24 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+func TestMultiJobExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak")
+	}
+	tb, err := MultiJob(testCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 3 {
+		t.Fatalf("want >=3 tenant rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if mb := cell(t, row[2]); mb <= 0 {
+			t.Fatalf("tenant %s shows no training: %v", row[0], row)
+		}
+	}
+}
+
 func TestFig4Schedules(t *testing.T) {
 	tb, err := Fig4Schedules(testCtx)
 	if err != nil {

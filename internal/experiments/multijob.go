@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/scenarios"
+)
+
+// MultiJob runs the committed multi-job scenario — the fleet arbiter's
+// soak regime: three tenants with mixed objectives (a deadline job, a
+// min-$/example job and a plain throughput job) share one volatile
+// 24-hour spot market through the lease-based arbiter, with two
+// scripted mass-reclaims forcing revocation cascades down the bid
+// order and a mid-run price shock moving the $-surplus bids. The
+// experiment errors if any arbiter or per-job invariant is violated,
+// if no cascade ever fires (the mechanism under test never engaged),
+// if a tenant is starved outright, or if the per-job tee-meter bills
+// fail to sum to the shared pool bill.
+func MultiJob(x *Ctx) (*Table, error) {
+	data, err := scenarios.FS.ReadFile("multi-job.yaml")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := scenario.RunFleet(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Report
+
+	t := &Table{
+		Title:  fmt.Sprintf("Multi-job fleet: %s", sc.Description),
+		Header: []string{"Job", "Objective", "Mini-batches", "Examples", "Morphs", "Preempts", "Dollars"},
+	}
+	for i, jr := range res.Jobs {
+		s := jr.Stats
+		t.Add(jr.Name, sc.Jobs[i].Objective,
+			fmt.Sprint(s.MiniBatches),
+			fmt.Sprintf("%.2fM", s.Examples/1e6),
+			fmt.Sprint(s.Morphs),
+			fmt.Sprint(s.Preemptions),
+			fmt.Sprintf("$%.2f", rep.JobDollars[i]))
+	}
+	a := rep.Arbiter
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("arbiter: %d pool events, %d leases (%d re-leases), %d revocations in %d cascades",
+			a.PoolEvents, a.Leases, a.ReLeases, a.Revocations, a.Cascades),
+		fmt.Sprintf("churn: %d market preemptions, %d scripted kills, %d voluntary releases",
+			a.MarketPreempts, a.ScriptedKills, a.Releases),
+		fmt.Sprintf("pool bill $%.2f; per-job bills sum to it exactly (tee meters)", rep.PoolDollars),
+		"replays bit-identically; run it yourself: varuna-sim run multi-job")
+
+	if len(rep.Violations) > 0 {
+		return t, fmt.Errorf("multi-job: %d invariant violations: %s",
+			len(rep.Violations), strings.Join(rep.Violations, "; "))
+	}
+	if a.Cascades < 1 {
+		return t, fmt.Errorf("multi-job: no revocation cascade fired (%d revocations)", a.Revocations)
+	}
+	if a.Leases < len(res.Jobs) || a.ScriptedKills == 0 || a.MarketPreempts == 0 {
+		return t, fmt.Errorf("multi-job: degenerate run: %d leases, %d scripted kills, %d market preemptions",
+			a.Leases, a.ScriptedKills, a.MarketPreempts)
+	}
+	for i, jr := range res.Jobs {
+		if jr.Stats.MiniBatches == 0 {
+			return t, fmt.Errorf("multi-job: job %s was starved (0 mini-batches)", jr.Name)
+		}
+		if rep.JobDollars[i] <= 0 {
+			return t, fmt.Errorf("multi-job: job %s billed nothing", jr.Name)
+		}
+	}
+	return t, nil
+}

@@ -39,6 +39,7 @@ func All() []Entry {
 		{ID: "abl-laststage", Paper: "ablation (§3.2 last-stage packing)", Run: AblationLastStagePacking},
 		{ID: "abl-straggler", Paper: "ablation (§4.6 fail-stutter)", Run: AblationStragglers},
 		{ID: "chaos-stress", Paper: "robustness (scenario DSL chaos soak)", Run: ChaosStress},
+		{ID: "multi-job", Paper: "robustness (fleet arbiter multi-tenant soak)", Run: MultiJob},
 	}
 }
 

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// CascadeVictim is one revocation inside a cascade.
+type CascadeVictim struct {
+	Job string
+	Bid float64
+	VM  int
+}
+
+// Cascade records one revocation cascade: the under-floor job it ran
+// for and the VMs taken from lower-bidding jobs, in revocation order.
+type Cascade struct {
+	At      simtime.Time
+	For     string
+	ForBid  float64
+	Victims []CascadeVictim
+}
+
+// Audit is the fleet run's invariant ledger. The arbiter records every
+// lease transition through it; structural violations (a VM leased to
+// two jobs, a cascade revoking out of priority order) are captured as
+// they happen rather than reconstructed after the fact.
+type Audit struct {
+	// PoolEvents counts raw market events the pool produced.
+	PoolEvents int
+	// Leases counts VM leases granted to jobs; Revocations the leases
+	// the arbiter took back in cascades; Releases the VMs jobs
+	// voluntarily returned; MarketPreempts the leased VMs the market
+	// itself reclaimed; ScriptedKills the chaos-scripted reclaims.
+	Leases         int
+	Revocations    int
+	Releases       int
+	MarketPreempts int
+	ScriptedKills  int
+	// ReLeases counts leases of a VM that a (different) job had
+	// previously released — released capacity returning to
+	// circulation, the one-way door swinging both ways.
+	ReLeases int
+	// Cascades lists every revocation cascade.
+	Cascades []Cascade
+	// Violations lists invariant breaches in occurrence order; a clean
+	// run has none.
+	Violations []string
+
+	owner    map[int]string // vm -> owning job name, while leased
+	everFree map[int]bool   // vm ids that passed through the free list after a release
+}
+
+func newAudit(jobs int) *Audit {
+	return &Audit{owner: make(map[int]string), everFree: make(map[int]bool)}
+}
+
+func (a *Audit) violate(format string, args ...any) {
+	a.Violations = append(a.Violations, fmt.Sprintf(format, args...))
+}
+
+// lease records a VM entering a job's fleet; a VM already owned
+// elsewhere is the no-double-lease violation.
+func (a *Audit) lease(at simtime.Time, vm int, _ int, job string) {
+	if cur, ok := a.owner[vm]; ok {
+		a.violate("t=%v: vm%d leased to %q while still leased to %q", at, vm, job, cur)
+	}
+	a.owner[vm] = job
+	if a.everFree[vm] {
+		a.ReLeases++
+	}
+}
+
+// unlease records a VM leaving its job (preempt, revoke or release).
+func (a *Audit) unlease(vm int) {
+	delete(a.owner, vm)
+}
+
+// releasedToPool marks a voluntarily-released VM as back in
+// circulation, so a later lease of it counts as a re-lease.
+func (a *Audit) releasedToPool(vm int) {
+	a.everFree[vm] = true
+}

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/autoconfig"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/manager"
+	"repro/internal/model"
+	"repro/internal/price"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+)
+
+// testFleet builds a three-tenant fleet over one small market: a
+// deadline job, a min-$/example job and a plain throughput job, with
+// floors tight enough that market dips and scripted reclaims force
+// revocation cascades. Shared across the invariant tests; seeds vary.
+type testFleet struct {
+	mk    *spot.Market
+	jobs  []*Job
+	pool  *price.Meter
+	sub   []*price.Meter
+	curve *price.Curve
+	opts  Options
+}
+
+func buildTestFleet(t *testing.T, seed int64) *testFleet {
+	t.Helper()
+	horizon := 24 * simtime.Hour
+	curve, err := price.MeanReverting(price.MROptions{
+		Mean: 2.40, Vol: 0.18, Reversion: 0.12, Horizon: horizon,
+	}, seed+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := price.NewMeter(curve)
+
+	mkJob := func(name string, seedOff int64, target, min int, prio float64, obj autoconfig.Objective) (*Job, *price.Meter) {
+		cluster := hw.SpotCluster(hw.NC6v3, 48)
+		job, err := core.NewJob(model.GPT2XL2B(), cluster, 8192, seed+seedOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := manager.DefaultOptions()
+		sub := price.NewTeeMeter(curve, pool)
+		opts.Meter = sub
+		opts.Objective = obj
+		mg := manager.NewWithPlanner(job.Inputs(), job.Testbed(), job.Planner(), opts, seed+seedOff+2)
+		return &Job{
+			Name: name, Mgr: mg,
+			TargetGPUs: target, MinGPUs: min, Priority: prio, Objective: obj,
+		}, sub
+	}
+
+	f := &testFleet{mk: spot.NewMarket(1, 300, seed), pool: pool, curve: curve}
+	j1, m1 := mkJob("deadline", 1, 40, 24, 1.5, autoconfig.Objective{
+		Kind: autoconfig.ObjDeadline, DeadlineAt: simtime.Time(horizon), TargetExamples: 5e6,
+	})
+	j2, m2 := mkJob("dollar", 11, 40, 8, 1.0, autoconfig.Objective{
+		Kind: autoconfig.ObjMinDollarPerExample,
+	})
+	j3, m3 := mkJob("batch", 21, 40, 8, 0.5, autoconfig.Objective{})
+	f.jobs = []*Job{j1, j2, j3}
+	f.sub = []*price.Meter{m1, m2, m3}
+	f.opts = Options{
+		Horizon: horizon,
+		Probe:   10 * simtime.Minute,
+		Prices:  curve,
+		Preempts: []ScriptedPreempt{
+			{At: simtime.Time(10 * simtime.Hour), Count: 40},
+			{At: simtime.Time(16 * simtime.Hour), Count: 35},
+		},
+		VictimSeed: seed + 9,
+	}
+	return f
+}
+
+// TestFleetInvariants drives the seeded three-job chaos fleet and
+// checks the structural invariants the audit records: no VM leased to
+// two jobs, cascades strictly in priority order, per-job bills summing
+// to the pool bill, and per-job event streams that are locally
+// consistent (every preemption hits a VM that job actually held).
+func TestFleetInvariants(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		f := buildTestFleet(t, seed)
+		res, err := Run(f.mk, f.jobs, f.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.Audit
+		if len(a.Violations) != 0 {
+			t.Fatalf("seed %d: audit violations: %v", seed, a.Violations)
+		}
+		if a.PoolEvents == 0 || a.Leases == 0 {
+			t.Fatalf("seed %d: dead market: %+v", seed, a)
+		}
+		if a.ScriptedKills == 0 {
+			t.Fatalf("seed %d: scripted reclaims never fired", seed)
+		}
+
+		// Per-job event streams: allocations and preemptions pair up.
+		for _, jr := range res.Jobs {
+			live := map[int]bool{}
+			for _, ev := range jr.Events {
+				switch ev.Kind {
+				case spot.Alloc:
+					if live[ev.VM] {
+						t.Fatalf("seed %d: job %s: vm%d allocated twice without a preempt", seed, jr.Name, ev.VM)
+					}
+					live[ev.VM] = true
+				case spot.Preempt:
+					if !live[ev.VM] {
+						t.Fatalf("seed %d: job %s: vm%d preempted while not held", seed, jr.Name, ev.VM)
+					}
+					live[ev.VM] = false
+				}
+			}
+			if jr.Stats.MiniBatches == 0 {
+				t.Fatalf("seed %d: job %s never trained", seed, jr.Name)
+			}
+		}
+
+		// Shared bill: per-job meters sum to the pool meter.
+		var sum float64
+		for _, m := range f.sub {
+			sum += m.Total()
+		}
+		if diff := math.Abs(sum - f.pool.Total()); diff > 1e-6*math.Max(1, f.pool.Total()) {
+			t.Fatalf("seed %d: job bills %.6f do not sum to pool bill %.6f", seed, sum, f.pool.Total())
+		}
+		if f.pool.Total() <= 0 {
+			t.Fatalf("seed %d: nothing billed", seed)
+		}
+
+		// Cascade order: within each cascade, every victim bids below
+		// the beneficiary and victim bids are non-increasing... walked
+		// lowest-first, so recorded bids must be non-decreasing.
+		if len(a.Cascades) == 0 {
+			t.Fatalf("seed %d: floors never forced a cascade", seed)
+		}
+		for _, c := range a.Cascades {
+			prev := math.Inf(-1)
+			for _, v := range c.Victims {
+				if v.Bid >= c.ForBid {
+					t.Fatalf("seed %d: cascade at %v for %s (bid %.3f) revoked from %s bidding %.3f",
+						seed, c.At, c.For, c.ForBid, v.Job, v.Bid)
+				}
+				if v.Bid < prev {
+					t.Fatalf("seed %d: cascade at %v revoked out of order: %.3f after %.3f", seed, c.At, v.Bid, prev)
+				}
+				prev = v.Bid
+			}
+		}
+	}
+}
+
+// TestFleetReplayBitIdentical reruns the same seeded fleet and
+// requires bit-identical results across every job — the determinism
+// property of the whole co-simulation.
+func TestFleetReplayBitIdentical(t *testing.T) {
+	f1 := buildTestFleet(t, 5)
+	r1, err := Run(f1.mk, f1.jobs, f1.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := buildTestFleet(t, 5)
+	r2, err := Run(f2.mk, f2.jobs, f2.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Jobs, r2.Jobs) {
+		t.Fatal("fleet replay diverged")
+	}
+	if !reflect.DeepEqual(r1.Audit, r2.Audit) {
+		t.Fatal("fleet audit diverged across replays")
+	}
+}
+
+// TestSingleJobCollapse pins the single-tenant fast path: one job
+// under the arbiter replays the direct market trace bit-identically.
+func TestSingleJobCollapse(t *testing.T) {
+	horizon := 12 * simtime.Hour
+	job, err := core.NewJob(model.GPT2XL2B(), hw.SpotCluster(hw.NC6v3, 48), 8192, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := manager.NewWithPlanner(job.Inputs(), job.Testbed(), job.Planner(), manager.DefaultOptions(), 56)
+	events := spot.EventTrace(spot.NewMarket(1, 60, 55), 48, horizon, 10*simtime.Minute)
+	wantPts, wantStats, err := direct.RunTimeline(events, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job2, err := core.NewJob(model.GPT2XL2B(), hw.SpotCluster(hw.NC6v3, 48), 8192, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := manager.NewWithPlanner(job2.Inputs(), job2.Testbed(), job2.Planner(), manager.DefaultOptions(), 56)
+	res, err := Run(spot.NewMarket(1, 60, 55), []*Job{{Name: "solo", Mgr: arb, TargetGPUs: 48}},
+		Options{Horizon: horizon, Probe: 10 * simtime.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Jobs[0].Points, wantPts) {
+		t.Fatal("single-job arbiter timeline diverges from direct path")
+	}
+	if !reflect.DeepEqual(res.Jobs[0].Stats, wantStats) {
+		t.Fatal("single-job arbiter stats diverge from direct path")
+	}
+	if len(res.Audit.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Audit.Violations)
+	}
+}
+
+// TestFleetValidation covers the config error paths.
+func TestFleetValidation(t *testing.T) {
+	mk := spot.NewMarket(1, 60, 1)
+	if _, err := Run(mk, nil, Options{Horizon: simtime.Hour}); err == nil {
+		t.Fatal("no jobs must error")
+	}
+	j := &Job{Name: "a", TargetGPUs: 10}
+	if _, err := Run(mk, []*Job{j}, Options{}); err == nil {
+		t.Fatal("zero horizon must error")
+	}
+	if _, err := Run(mk, []*Job{{Name: "", TargetGPUs: 10}}, Options{Horizon: simtime.Hour}); err == nil {
+		t.Fatal("unnamed job must error")
+	}
+	if _, err := Run(mk, []*Job{j, {Name: "a", TargetGPUs: 10}}, Options{Horizon: simtime.Hour}); err == nil {
+		t.Fatal("duplicate names must error")
+	}
+	if _, err := Run(mk, []*Job{{Name: "b"}}, Options{Horizon: simtime.Hour}); err == nil {
+		t.Fatal("zero target must error")
+	}
+	if _, err := Run(mk, []*Job{{Name: "b", TargetGPUs: 4, MinGPUs: 8}}, Options{Horizon: simtime.Hour}); err == nil {
+		t.Fatal("min above target must error")
+	}
+}

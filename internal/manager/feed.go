@@ -1,0 +1,65 @@
+package manager
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/spot"
+)
+
+// Feed supplies fleet events to a timeline run. The historical manager
+// consumed a pregenerated []spot.Event; a Feed generalizes that to a
+// live source — the fleet arbiter leases and revokes VMs while the
+// timeline runs, and its revocations arrive through the same interface
+// as market preemptions, indistinguishable at this layer.
+type Feed interface {
+	// Pop returns the next event due at or before now, consuming it.
+	// The manager calls Pop at the top of every control-loop step, so
+	// a live feed can also treat it as the job's progress heartbeat:
+	// an event popped here has been observed by the control loop
+	// before the step completes.
+	Pop(now simtime.Time) (spot.Event, bool)
+	// NextAt reports when the feed wants the control loop to wake
+	// next: the next queued event for a pregenerated trace, or the
+	// next arbiter probe tick for a live feed. ok == false means the
+	// feed is exhausted (no further events will ever arrive).
+	NextAt(now simtime.Time) (simtime.Time, bool)
+	// Release tells the feed the job voluntarily returned a VM to the
+	// market at the given instant (a dollar objective shedding
+	// uneconomical capacity). A pregenerated trace ignores it — the
+	// release is a one-way door there — while the arbiter returns the
+	// VM to circulation for other jobs.
+	Release(vm int, at simtime.Time)
+	// Driven reports whether the feed wakes the control loop on its
+	// own cadence (a live arbiter) rather than only at queued event
+	// times. Driven feeds produce eventless wakes while the job is
+	// down; the control loop skips the futile morph attempt those
+	// would otherwise trigger.
+	Driven() bool
+}
+
+// sliceFeed adapts a pregenerated event trace to the Feed interface —
+// the classic single-job path, bit-identical to the historical
+// index-walk over the slice.
+type sliceFeed struct {
+	events []spot.Event
+	idx    int
+}
+
+func (f *sliceFeed) Pop(now simtime.Time) (spot.Event, bool) {
+	if f.idx < len(f.events) && f.events[f.idx].At <= now {
+		ev := f.events[f.idx]
+		f.idx++
+		return ev, true
+	}
+	return spot.Event{}, false
+}
+
+func (f *sliceFeed) NextAt(simtime.Time) (simtime.Time, bool) {
+	if f.idx < len(f.events) {
+		return f.events[f.idx].At, true
+	}
+	return 0, false
+}
+
+func (f *sliceFeed) Release(int, simtime.Time) {}
+
+func (f *sliceFeed) Driven() bool { return false }

@@ -361,9 +361,9 @@ type vmInfo struct {
 // closures).
 type timelineRun struct {
 	mg     *Manager
-	events []spot.Event
+	feed   Feed
 	hz     simtime.Time
-	q      simtime.EventQueue
+	q      *simtime.EventQueue
 	onStep func(a, b int32)
 	// gaps estimates the time to the next fleet event from the events
 	// already applied — the spot-derived horizon of each morph-or-hold
@@ -374,7 +374,6 @@ type timelineRun struct {
 	stats   Stats
 	live    map[int]*vmInfo
 	now     simtime.Time
-	evIdx   int
 	current autoconfig.Choice
 	running bool
 	// sinceCkpt counts mini-batches since the last checkpoint (lost
@@ -511,9 +510,10 @@ func (r *timelineRun) econ() autoconfig.Econ {
 // healthy VMs — largest ids first, deterministic — until usable
 // capacity matches the target configuration. Released VMs stop
 // billing immediately and their future trace preemptions are ignored
-// (they are the provider's problem now). The precomputed event trace
+// (they are the provider's problem now). A precomputed event trace
 // cannot re-grant a released VM, but later allocations are fresh VMs
-// and regrow the fleet as usual.
+// and regrow the fleet as usual; the feed is notified so a live
+// arbiter can return the capacity to circulation for other jobs.
 func (r *timelineRun) releaseExcess(target int) int {
 	ids := make([]int, 0, len(r.live))
 	for id := range r.live {
@@ -532,6 +532,7 @@ func (r *timelineRun) releaseExcess(target int) int {
 		}
 		delete(r.live, id)
 		r.released[id] = true
+		r.feed.Release(id, r.now)
 		released++
 	}
 	r.stats.VMsReleased += released
@@ -917,9 +918,11 @@ func (r *timelineRun) step(int32, int32) {
 	objChanged := r.applyObjDue()
 	fleetChanged := false
 	preempted := false
-	for r.evIdx < len(r.events) && r.events[r.evIdx].At <= r.now {
-		ev := r.events[r.evIdx]
-		r.evIdx++
+	for {
+		ev, ok := r.feed.Pop(r.now)
+		if !ok {
+			break
+		}
 		if ev.Kind == spot.Preempt && r.released[ev.VM] {
 			// A VM we already returned to the market: the provider
 			// reclaiming it is no longer our fleet event.
@@ -937,6 +940,22 @@ func (r *timelineRun) step(int32, int32) {
 		r.stats.MiniBatches -= r.sinceCkpt
 		r.sinceCkpt = 0
 	}
+	if !fleetChanged && !netChanged && !objChanged && !r.running && r.feed.Driven() {
+		// An eventless wake while the job is down: driven feeds wake
+		// the loop every arbiter tick, so without a fleet or schedule
+		// change there is nothing to re-decide — idle forward to the
+		// next wake instead of re-attempting (and re-logging) a morph
+		// that cannot succeed any better than last time. Unreachable
+		// on pregenerated traces, which only wake the loop at event
+		// times.
+		if at, ok := r.feed.NextAt(r.now); ok {
+			at = simtime.Max(r.now, at)
+			r.chargeIdle(at)
+			r.now = at
+			r.reschedule()
+		}
+		return
+	}
 	if fleetChanged || !r.running {
 		r.morphAndReschedule(preempted)
 		return
@@ -951,10 +970,11 @@ func (r *timelineRun) step(int32, int32) {
 		return
 	}
 
-	// Train until the next event or horizon.
+	// Train until the next event (or wake, for a driven feed) or the
+	// horizon.
 	next := r.hz
-	if r.evIdx < len(r.events) && r.events[r.evIdx].At < next {
-		next = r.events[r.evIdx].At
+	if at, ok := r.feed.NextAt(r.now); ok && at < next {
+		next = at
 	}
 	for r.now < next {
 		r.now = r.now.Add(r.mbTime)
@@ -1031,8 +1051,8 @@ func (r *timelineRun) step(int32, int32) {
 func (r *timelineRun) morphAndReschedule(forced bool) {
 	r.morph("morph", forced)
 	if !r.running {
-		if r.evIdx < len(r.events) {
-			at := simtime.Max(r.now, r.events[r.evIdx].At)
+		if at, ok := r.feed.NextAt(r.now); ok {
+			at = simtime.Max(r.now, at)
 			r.chargeIdle(at)
 			r.now = at
 			r.reschedule()
@@ -1050,14 +1070,39 @@ func (r *timelineRun) morphAndReschedule(forced bool) {
 // whole timeline (and across timelines, if the caller shares one
 // Planner between runs).
 func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([]TimelinePoint, Stats, error) {
+	run, err := mg.StartOn(new(simtime.EventQueue), &sliceFeed{events: events}, horizon)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	run.r.q.Run(0)
+	points, stats := run.Finish()
+	return points, stats, nil
+}
+
+// Run is a timeline replay in flight on a shared event queue — the
+// handle the fleet arbiter holds per job. The control loop schedules
+// itself through the queue; when the queue drains past the horizon,
+// Finish publishes the timeline and statistics.
+type Run struct {
+	r        *timelineRun
+	finished bool
+}
+
+// StartOn builds a timeline run against the given feed and schedules
+// its first control-loop step on q, without running the queue. Several
+// runs can share one queue — each schedules only its own continuation,
+// and equal-time callbacks fire in scheduling order — which is how the
+// arbiter co-simulates N jobs and its own probe loop on one clock.
+func (mg *Manager) StartOn(q *simtime.EventQueue, feed Feed, horizon simtime.Duration) (*Run, error) {
 	prior := mg.Opts.EventGapPrior
 	if prior <= 0 {
 		prior = DefaultEventGapPrior
 	}
 	r := &timelineRun{
 		mg:       mg,
-		events:   events,
+		feed:     feed,
 		hz:       simtime.Time(horizon),
+		q:        q,
 		gaps:     spot.NewGapEstimator(prior),
 		live:     make(map[int]*vmInfo),
 		mbCache:  make(map[[2]int]simtime.Duration),
@@ -1092,10 +1137,10 @@ func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([
 	if len(mg.ObjChange) > 0 {
 		for _, oc := range mg.ObjChange {
 			if err := oc.Objective.Validate(); err != nil {
-				return nil, Stats{}, fmt.Errorf("manager: scheduled objective at %v: %w", oc.At, err)
+				return nil, fmt.Errorf("manager: scheduled objective at %v: %w", oc.At, err)
 			}
 			if oc.Objective.Kind != autoconfig.ObjMaxThroughput && r.meter == nil {
-				return nil, Stats{}, fmt.Errorf("manager: scheduled objective %v at %v needs a price curve", oc.Objective.Kind, oc.At)
+				return nil, fmt.Errorf("manager: scheduled objective %v at %v needs a price curve", oc.Objective.Kind, oc.At)
 			}
 		}
 		r.objs = append(r.objs, mg.ObjChange...)
@@ -1104,22 +1149,37 @@ func (mg *Manager) RunTimeline(events []spot.Event, horizon simtime.Duration) ([
 	r.nextHB = simtime.Time(mg.Opts.HeartbeatEvery)
 	r.onStep = r.step
 	r.reschedule()
-	r.q.Run(0)
+	return &Run{r: r}, nil
+}
+
+// ExamplesDone reports the examples trained so far — live progress the
+// arbiter reads mid-run to compute deadline-urgency bids.
+func (ru *Run) ExamplesDone() float64 { return ru.r.stats.Examples }
+
+// Finish publishes the run's timeline and statistics after the shared
+// queue has drained: it bills any unmetered tail and folds the meter
+// totals into Stats. Idempotent.
+func (ru *Run) Finish() ([]TimelinePoint, Stats) {
+	r := ru.r
+	if ru.finished {
+		return r.points, r.stats
+	}
+	ru.finished = true
 	if r.stats.Examples < 0 {
 		r.stats.Examples = 0
 	}
 	if r.meter != nil {
 		// Bill any unmetered tail (a dead fleet outliving its last
 		// event) and publish the totals.
-		if r.acc < simtime.Time(horizon) {
-			r.chargeIdle(simtime.Time(horizon))
+		if r.acc < r.hz {
+			r.chargeIdle(r.hz)
 		}
 		r.stats.DollarsSpent = r.meter.Total() - r.baseTotal
 		r.stats.DollarsCompute = r.meter.InBucket(price.Compute) - r.baseDollars[price.Compute]
 		r.stats.DollarsReconfig = r.meter.InBucket(price.Reconfig) - r.baseDollars[price.Reconfig]
 		r.stats.DollarsIdle = r.meter.InBucket(price.Idle) - r.baseDollars[price.Idle]
 	}
-	return r.points, r.stats, nil
+	return r.points, r.stats
 }
 
 // Validate sanity-checks options.

@@ -50,10 +50,20 @@ func (b Bucket) String() string {
 type Meter struct {
 	curve   *Curve
 	dollars [NumBuckets]float64
+	tee     *Meter
 }
 
 // NewMeter builds a meter over the given price curve.
 func NewMeter(c *Curve) *Meter { return &Meter{curve: c} }
+
+// NewTeeMeter builds a per-job meter that mirrors every charge into a
+// shared pool meter: each job reads its own bill off its meter while
+// the pool meter accumulates the fleet-wide bill — per-job metering
+// under a shared bill. The mirrored amount is the exact float computed
+// for the job's own accumulator, so the pool total is the sum of the
+// same charges the jobs saw (in fleet-wide chronological order).
+// Export/Import snapshot only the job's own accumulators.
+func NewTeeMeter(c *Curve, pool *Meter) *Meter { return &Meter{curve: c, tee: pool} }
 
 // Curve reports the curve the meter prices against.
 func (m *Meter) Curve() *Curve { return m.curve }
@@ -63,7 +73,11 @@ func (m *Meter) Charge(bucket Bucket, from, to simtime.Time, gpus int) {
 	if m == nil || gpus <= 0 || to <= from {
 		return
 	}
-	m.dollars[bucket] += float64(gpus) * m.curve.Integrate(from, to)
+	amt := float64(gpus) * m.curve.Integrate(from, to)
+	m.dollars[bucket] += amt
+	if m.tee != nil {
+		m.tee.dollars[bucket] += amt
+	}
 }
 
 // Total reports the dollars accrued across all buckets.

@@ -1,0 +1,194 @@
+package price
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// randCurve builds one of the three curve families from the seed —
+// the property tests should hold on any curve, not just constants.
+func randCurve(t *testing.T, rng *simtime.Rand) *Curve {
+	t.Helper()
+	switch rng.Intn(3) {
+	case 0:
+		return Constant(0.5 + 3*rng.Float64())
+	case 1:
+		steps := []Step{{At: 0, PerGPUHour: 1 + rng.Float64()}}
+		at := simtime.Time(0)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			at = at.Add(simtime.Duration(1+rng.Intn(120)) * simtime.Minute)
+			steps = append(steps, Step{At: at, PerGPUHour: 0.2 + 4*rng.Float64()})
+		}
+		c, err := FromSteps(steps)
+		if err != nil {
+			t.Fatalf("FromSteps: %v", err)
+		}
+		return c
+	default:
+		c, err := MeanReverting(MROptions{
+			Mean: 1 + 2*rng.Float64(), Vol: 0.3 * rng.Float64(),
+			Reversion: 0.2, Step: 15 * simtime.Minute, Horizon: 48 * simtime.Hour,
+		}, int64(rng.Intn(1<<30)))
+		if err != nil {
+			t.Fatalf("MeanReverting: %v", err)
+		}
+		return c
+	}
+}
+
+// charge is one randomly drawn Charge call.
+type charge struct {
+	b        Bucket
+	from, to simtime.Time
+	gpus     int
+}
+
+func randCharges(rng *simtime.Rand, n int) []charge {
+	out := make([]charge, 0, n)
+	cursor := simtime.Time(0)
+	for i := 0; i < n; i++ {
+		from := cursor
+		if rng.Intn(4) == 0 {
+			// Occasionally jump backwards or charge a degenerate span:
+			// the meter must tolerate overlapping and empty spans.
+			from = simtime.Time(rng.Intn(48*3600)) * simtime.Time(simtime.Second)
+		}
+		span := simtime.Duration(rng.Intn(3*3600)) * simtime.Second
+		to := from.Add(span)
+		cursor = to
+		out = append(out, charge{
+			b:    Bucket(rng.Intn(int(NumBuckets))),
+			from: from,
+			to:   to,
+			gpus: rng.Intn(300) - 10, // sometimes zero or negative
+		})
+	}
+	return out
+}
+
+// TestMeterProperties drives random span sequences over random curves
+// and checks the meter's algebraic invariants after every charge:
+// bucket sums equal the total exactly (same accumulators, same
+// summation order), and spend never decreases (curves are
+// non-negative, so no charge can refund).
+func TestMeterProperties(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := simtime.NewRand(seed)
+		m := NewMeter(randCurve(t, rng))
+		prev := 0.0
+		for i, c := range randCharges(rng, 200) {
+			m.Charge(c.b, c.from, c.to, c.gpus)
+			sum := m.InBucket(Compute) + m.InBucket(Reconfig) + m.InBucket(Idle)
+			if sum != m.Total() {
+				t.Fatalf("seed %d charge %d: bucket sum %v != total %v", seed, i, sum, m.Total())
+			}
+			if m.Total() < prev {
+				t.Fatalf("seed %d charge %d: total decreased %v -> %v", seed, i, prev, m.Total())
+			}
+			if c.gpus <= 0 || c.to <= c.from {
+				if m.Total() != prev {
+					t.Fatalf("seed %d charge %d: degenerate span changed the bill", seed, i)
+				}
+			}
+			prev = m.Total()
+		}
+	}
+}
+
+// TestMeterStateRoundTripMidSequence exports the meter at random
+// points mid-sequence, imports into a fresh meter, and replays the
+// remaining charges on both: every accumulator must stay bit-identical
+// the whole way — the warm-resume property restart relies on.
+func TestMeterStateRoundTripMidSequence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := simtime.NewRand(seed + 1000)
+		curve := randCurve(t, rng)
+		m := NewMeter(curve)
+		charges := randCharges(rng, 150)
+		cut := 1 + rng.Intn(len(charges)-1)
+		for _, c := range charges[:cut] {
+			m.Charge(c.b, c.from, c.to, c.gpus)
+		}
+		data, err := m.ExportState()
+		if err != nil {
+			t.Fatalf("seed %d: export: %v", seed, err)
+		}
+		restored := NewMeter(curve)
+		if err := restored.ImportState(data); err != nil {
+			t.Fatalf("seed %d: import: %v", seed, err)
+		}
+		bits := func(m *Meter, b Bucket) uint64 { return math.Float64bits(m.InBucket(b)) }
+		for b := Compute; b < NumBuckets; b++ {
+			if bits(m, b) != bits(restored, b) {
+				t.Fatalf("seed %d: bucket %v not bit-identical after round-trip: %x vs %x",
+					seed, b, bits(m, b), bits(restored, b))
+			}
+		}
+		// The restored meter must continue bit-identically, not just
+		// match at the snapshot.
+		for i, c := range charges[cut:] {
+			m.Charge(c.b, c.from, c.to, c.gpus)
+			restored.Charge(c.b, c.from, c.to, c.gpus)
+			for b := Compute; b < NumBuckets; b++ {
+				if bits(m, b) != bits(restored, b) {
+					t.Fatalf("seed %d: bucket %v diverged %d charges after resume", seed, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTeeMeterSharedBill checks the fleet billing contract: every
+// charge lands in the job's own meter and, mirrored as the exact same
+// float, in the pool meter. One job tees bit-identically; several jobs
+// sum to the pool bill up to float association order.
+func TestTeeMeterSharedBill(t *testing.T) {
+	rng := simtime.NewRand(7)
+	curve := randCurve(t, rng)
+
+	// Single tee: pool accumulates the identical charge stream, so it
+	// matches the job meter bit-for-bit.
+	pool := NewMeter(curve)
+	job := NewTeeMeter(curve, pool)
+	for _, c := range randCharges(rng, 100) {
+		job.Charge(c.b, c.from, c.to, c.gpus)
+	}
+	for b := Compute; b < NumBuckets; b++ {
+		if math.Float64bits(job.InBucket(b)) != math.Float64bits(pool.InBucket(b)) {
+			t.Fatalf("single-tee bucket %v: job %v != pool %v", b, job.InBucket(b), pool.InBucket(b))
+		}
+	}
+
+	// Several jobs interleaved: per-job bills sum to the pool bill
+	// (the grouping differs, so compare within float tolerance).
+	pool = NewMeter(curve)
+	jobs := []*Meter{NewTeeMeter(curve, pool), NewTeeMeter(curve, pool), NewTeeMeter(curve, pool)}
+	for _, c := range randCharges(rng, 300) {
+		jobs[rng.Intn(len(jobs))].Charge(c.b, c.from, c.to, c.gpus)
+	}
+	var sum float64
+	for _, j := range jobs {
+		sum += j.Total()
+	}
+	if diff := math.Abs(sum - pool.Total()); diff > 1e-9*math.Max(1, pool.Total()) {
+		t.Fatalf("per-job bills %v do not sum to pool bill %v (diff %v)", sum, pool.Total(), diff)
+	}
+	if pool.Total() <= 0 {
+		t.Fatal("pool accumulated nothing")
+	}
+
+	// A tee meter's exported state is its own bill only.
+	data, err := jobs[0].ExportState()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	fresh := NewMeter(curve)
+	if err := fresh.ImportState(data); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if math.Float64bits(fresh.Total()) != math.Float64bits(jobs[0].Total()) {
+		t.Fatal("tee meter state must round-trip the job's own bill")
+	}
+}

@@ -72,14 +72,16 @@ func objectiveFor(name string, deadlineAt simtime.Duration, targetExamples float
 	}
 }
 
-// Compile resolves a scenario: calibrates the job, generates the
-// market's base event trace, expands the chaos spec, resolves victims
-// against the live fleet, and assembles manager options. The job
-// calibration dominates the cost; everything else is cheap.
-func Compile(sc *Scenario) (*Compiled, error) {
+// compileSingle resolves everything that precedes trace generation —
+// job calibration, testbed choice, price curve, manager options and
+// the market in its pristine (un-traced) state. Compile continues
+// from here by generating the base trace; the fleet parity path hands
+// the pristine market to the arbiter instead, whose single-job
+// collapse generates the identical trace itself.
+func compileSingle(sc *Scenario) (*Compiled, *spot.Market, *price.Curve, error) {
 	spec, ok := specByName(sc.Job.Model)
 	if !ok {
-		return nil, fmt.Errorf("scenario %s: unknown model %q", sc.Name, sc.Job.Model)
+		return nil, nil, nil, fmt.Errorf("scenario %s: unknown model %q", sc.Name, sc.Job.Model)
 	}
 	vm := hw.NC6v3
 	if sc.Job.VMGPUs == 4 {
@@ -88,7 +90,7 @@ func Compile(sc *Scenario) (*Compiled, error) {
 	cluster := hw.SpotCluster(vm, sc.Job.ClusterGPUs)
 	job, err := core.NewJob(spec, cluster, sc.Job.Batch, sc.Job.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return nil, nil, nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
 	c := &Compiled{Scenario: sc, Job: job, Horizon: sc.Run.Horizon}
@@ -101,9 +103,9 @@ func Compile(sc *Scenario) (*Compiled, error) {
 
 	// Price curve, with scripted/chaos shocks layered on. Shock
 	// windows that overlap compound multiplicatively.
-	curve, err := buildCurve(sc)
+	curve, err := buildCurve(sc, sc.Run.Horizon)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return nil, nil, nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
 	// Manager options.
@@ -132,6 +134,19 @@ func Compile(sc *Scenario) (*Compiled, error) {
 		vms := (sc.Run.TargetGPUs + mk.GPUsPerVM - 1) / mk.GPUsPerVM
 		opts.EventGapPrior = mk.ExpectedNextEvent(0, vms)
 	}
+	c.Opts = opts
+	return c, mk, curve, nil
+}
+
+// Compile resolves a scenario: calibrates the job, generates the
+// market's base event trace, expands the chaos spec, resolves victims
+// against the live fleet, and assembles manager options. The job
+// calibration dominates the cost; everything else is cheap.
+func Compile(sc *Scenario) (*Compiled, error) {
+	c, mk, curve, err := compileSingle(sc)
+	if err != nil {
+		return nil, err
+	}
 	base := spot.EventTrace(mk, sc.Run.TargetGPUs, sc.Run.Horizon, sc.Market.Probe)
 
 	// Script: explicit events plus the expanded chaos spec, merged in
@@ -143,14 +158,13 @@ func Compile(sc *Scenario) (*Compiled, error) {
 	sort.SliceStable(script, func(i, j int) bool { return script[i].At < script[j].At })
 	c.ScriptEvents = len(script)
 
-	c.Opts = opts
 	if err := c.merge(base, script, curve); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	return c, nil
 }
 
-func buildCurve(sc *Scenario) (*price.Curve, error) {
+func buildCurve(sc *Scenario, runHorizon simtime.Duration) (*price.Curve, error) {
 	var curve *price.Curve
 	var err error
 	switch sc.Prices.Kind {
@@ -161,7 +175,7 @@ func buildCurve(sc *Scenario) (*price.Curve, error) {
 	case "mean-reverting":
 		hz := sc.Prices.Horizon
 		if hz <= 0 {
-			hz = sc.Run.Horizon
+			hz = runHorizon
 		}
 		curve, err = price.MeanReverting(price.MROptions{
 			Mean:      sc.Prices.Mean,

@@ -47,6 +47,52 @@ type Scenario struct {
 	Events []Event
 	// Chaos, when present, generates additional events from rates.
 	Chaos *Chaos
+	// Fleet, when present, switches the scenario to multi-job fleet
+	// mode: Jobs share one market through the fleet arbiter, and the
+	// Job/Run blocks are not used.
+	Fleet *FleetSpec
+	// Jobs is the fleet-mode tenant list.
+	Jobs []FleetJobSpec
+}
+
+// FleetSpec parameterizes a multi-job fleet run (the `fleet:` block).
+type FleetSpec struct {
+	// Horizon is the simulated duration.
+	Horizon simtime.Duration
+	// VMGPUs is the shared spot VM size (1 or 4 GPUs).
+	VMGPUs int
+	// VictimSeed seeds the scripted reclaims' victim draws. 0 derives
+	// it from the market seed.
+	VictimSeed int64
+}
+
+// FleetJobSpec is one tenant in a fleet-mode scenario.
+type FleetJobSpec struct {
+	// Name labels the job in reports and audits.
+	Name string
+	// Model is a model-zoo name ("GPT2-2.5B").
+	Model string
+	// ClusterGPUs sizes the job's testbed resource pool.
+	ClusterGPUs int
+	// Batch is the global mini-batch size.
+	Batch int
+	// Seed seeds job calibration; ManagerSeed the manager's streams.
+	Seed        int64
+	ManagerSeed int64
+	// TargetGPUs is the capacity the job bids for; MinGPUs its
+	// guaranteed floor (restored by revocation cascades).
+	TargetGPUs int
+	MinGPUs    int
+	// Priority is the job's base bid.
+	Priority float64
+	// GapPrior selects the morph-or-hold stable-window prior ("default"
+	// or "market"), as in RunSpec.
+	GapPrior string
+	// Objective/DeadlineAt/TargetExamples select the job's objective,
+	// with RunSpec semantics (DeadlineAt 0 means the fleet horizon).
+	Objective      string
+	DeadlineAt     simtime.Duration
+	TargetExamples float64
 }
 
 // JobSpec names the model and resource pool.
@@ -228,15 +274,60 @@ func Parse(data []byte) (*Scenario, error) {
 		Description: t.str("description", ""),
 	}
 
-	j := d.section(t.child("job"), "job")
-	sc.Job = JobSpec{
-		Model:       j.str("model", "GPT2-2.5B"),
-		VMGPUs:      j.num("vm-gpus", 1),
-		ClusterGPUs: j.num("cluster-gpus", 0),
-		Batch:       j.num("batch", 8192),
-		Seed:        j.seed("seed", 1),
+	_, hasFleet := t.m["fleet"]
+	_, hasJobs := t.m["jobs"]
+	if hasFleet || hasJobs {
+		// Fleet mode: N jobs share one market through the arbiter. The
+		// single-job blocks are rejected outright — their settings live
+		// per job in jobs[].
+		for _, k := range []string{"job", "run", "chaos"} {
+			if _, ok := t.m[k]; ok {
+				t.used[k] = true
+				d.errf("fleet mode: the %q block is not allowed (per-job settings live in jobs[])", k)
+			}
+		}
+		fs := d.section(t.child("fleet"), "fleet")
+		sc.Fleet = &FleetSpec{
+			Horizon:    fs.dur("horizon", 0),
+			VMGPUs:     fs.num("vm-gpus", 1),
+			VictimSeed: fs.seed("victim-seed", 0),
+		}
+		fs.done()
+		for i, jn := range t.list("jobs") {
+			jm, ok := jn.(map[string]ynode)
+			if !ok {
+				d.errf("jobs[%d]: each job must be a map", i)
+				continue
+			}
+			js := d.section(jm, fmt.Sprintf("jobs[%d]", i))
+			sc.Jobs = append(sc.Jobs, FleetJobSpec{
+				Name:           js.str("name", ""),
+				Model:          js.str("model", "GPT2-2.5B"),
+				ClusterGPUs:    js.num("cluster-gpus", 0),
+				Batch:          js.num("batch", 8192),
+				Seed:           js.seed("seed", 1),
+				ManagerSeed:    js.seed("manager-seed", 1),
+				TargetGPUs:     js.num("target-gpus", 0),
+				MinGPUs:        js.num("min-gpus", 0),
+				Priority:       js.float("priority", 1),
+				GapPrior:       js.enum("gap-prior", "default", "default", "market"),
+				Objective:      js.enum("objective", "max-throughput", "max-throughput", "min-dollar-per-example", "deadline"),
+				DeadlineAt:     js.dur("deadline-at", 0),
+				TargetExamples: js.float("target-examples", 0),
+			})
+			js.done()
+		}
+	} else {
+		j := d.section(t.child("job"), "job")
+		sc.Job = JobSpec{
+			Model:       j.str("model", "GPT2-2.5B"),
+			VMGPUs:      j.num("vm-gpus", 1),
+			ClusterGPUs: j.num("cluster-gpus", 0),
+			Batch:       j.num("batch", 8192),
+			Seed:        j.seed("seed", 1),
+		}
+		j.done()
 	}
-	j.done()
 
 	m := d.section(t.child("market"), "market")
 	sc.Market = MarketSpec{
@@ -247,23 +338,25 @@ func Parse(data []byte) (*Scenario, error) {
 	}
 	m.done()
 
-	r := d.section(t.child("run"), "run")
-	sc.Run = RunSpec{
-		TargetGPUs:        r.num("target-gpus", 0),
-		Horizon:           r.dur("horizon", 0),
-		ManagerSeed:       r.seed("manager-seed", 1),
-		Testbed:           r.enum("testbed", "job", "job", "fresh"),
-		TestbedSeed:       r.seed("testbed-seed", 1),
-		GapPrior:          r.enum("gap-prior", "default", "default", "market"),
-		Policy:            r.enum("policy", "morph-or-hold", "morph-or-hold", "modeled", "constant"),
-		Objective:         r.enum("objective", "max-throughput", "max-throughput", "min-dollar-per-example", "deadline"),
-		DeadlineAt:        r.dur("deadline-at", 0),
-		TargetExamples:    r.float("target-examples", 0),
-		MeasureStragglers: r.boolean("measure-stragglers", false),
-		HeartbeatEvery:    r.dur("heartbeat-every", -1),
-		VictimSeed:        r.seed("victim-seed", 0),
+	if sc.Fleet == nil {
+		r := d.section(t.child("run"), "run")
+		sc.Run = RunSpec{
+			TargetGPUs:        r.num("target-gpus", 0),
+			Horizon:           r.dur("horizon", 0),
+			ManagerSeed:       r.seed("manager-seed", 1),
+			Testbed:           r.enum("testbed", "job", "job", "fresh"),
+			TestbedSeed:       r.seed("testbed-seed", 1),
+			GapPrior:          r.enum("gap-prior", "default", "default", "market"),
+			Policy:            r.enum("policy", "morph-or-hold", "morph-or-hold", "modeled", "constant"),
+			Objective:         r.enum("objective", "max-throughput", "max-throughput", "min-dollar-per-example", "deadline"),
+			DeadlineAt:        r.dur("deadline-at", 0),
+			TargetExamples:    r.float("target-examples", 0),
+			MeasureStragglers: r.boolean("measure-stragglers", false),
+			HeartbeatEvery:    r.dur("heartbeat-every", -1),
+			VictimSeed:        r.seed("victim-seed", 0),
+		}
+		r.done()
 	}
-	r.done()
 
 	if p := t.child("prices"); p != nil {
 		ps := d.section(p, "prices")
@@ -315,7 +408,7 @@ func Parse(data []byte) (*Scenario, error) {
 		}
 	}
 
-	if cn := t.child("chaos"); cn != nil {
+	if cn := t.child("chaos"); cn != nil && sc.Fleet == nil {
 		cs := d.section(cn, "chaos")
 		sc.Chaos = &Chaos{
 			Seed:              cs.seed("seed", 1),
@@ -351,6 +444,23 @@ func (d *decoder) validate(sc *Scenario) {
 	if sc.Name == "" {
 		d.errf("name: required")
 	}
+	if sc.Market.BaseCapacity < 1 {
+		d.errf("market.base-capacity: required and positive")
+	}
+	switch sc.Prices.Kind {
+	case "constant":
+		if sc.Prices.PerGPUHour <= 0 {
+			d.errf("prices.per-gpu-hour: required and positive for a constant curve")
+		}
+	case "mean-reverting":
+		if sc.Prices.Mean <= 0 {
+			d.errf("prices.mean: required and positive for a mean-reverting curve")
+		}
+	}
+	if sc.Fleet != nil {
+		d.validateFleet(sc)
+		return
+	}
 	if sc.Job.ClusterGPUs < 1 {
 		d.errf("job.cluster-gpus: required and positive")
 	}
@@ -359,9 +469,6 @@ func (d *decoder) validate(sc *Scenario) {
 	}
 	if sc.Job.Batch < 1 {
 		d.errf("job.batch: must be positive")
-	}
-	if sc.Market.BaseCapacity < 1 {
-		d.errf("market.base-capacity: required and positive")
 	}
 	if sc.Run.TargetGPUs < 1 {
 		d.errf("run.target-gpus: required and positive")
@@ -421,14 +528,72 @@ func (d *decoder) validate(sc *Scenario) {
 			}
 		}
 	}
-	switch sc.Prices.Kind {
-	case "constant":
-		if sc.Prices.PerGPUHour <= 0 {
-			d.errf("prices.per-gpu-hour: required and positive for a constant curve")
+}
+
+// validateFleet cross-checks a fleet-mode scenario. Fleet runs accept
+// only the event kinds the arbiter can arbitrate deterministically:
+// scripted preemptions (seeded victim draws from the shared pool) and
+// compile-time price shocks. Per-VM degradations and objective changes
+// would need per-job victim routing the fleet does not define yet.
+func (d *decoder) validateFleet(sc *Scenario) {
+	priced := sc.Prices.Kind != "none"
+	f := sc.Fleet
+	if f.Horizon <= 0 {
+		d.errf("fleet.horizon: required and positive")
+	}
+	if f.VMGPUs != 1 && f.VMGPUs != 4 {
+		d.errf("fleet.vm-gpus: must be 1 or 4, got %d", f.VMGPUs)
+	}
+	if len(sc.Jobs) == 0 {
+		d.errf("jobs: fleet mode needs at least one job")
+	}
+	names := map[string]bool{}
+	for i, j := range sc.Jobs {
+		at := fmt.Sprintf("jobs[%d]", i)
+		if j.Name == "" {
+			d.errf("%s.name: required", at)
+		} else if names[j.Name] {
+			d.errf("%s.name: duplicate %q", at, j.Name)
 		}
-	case "mean-reverting":
-		if sc.Prices.Mean <= 0 {
-			d.errf("prices.mean: required and positive for a mean-reverting curve")
+		names[j.Name] = true
+		if j.ClusterGPUs < 1 {
+			d.errf("%s.cluster-gpus: required and positive", at)
+		}
+		if j.Batch < 1 {
+			d.errf("%s.batch: must be positive", at)
+		}
+		if j.TargetGPUs < 1 {
+			d.errf("%s.target-gpus: required and positive", at)
+		}
+		if j.MinGPUs < 0 || j.MinGPUs > j.TargetGPUs {
+			d.errf("%s.min-gpus: %d outside [0, target-gpus]", at, j.MinGPUs)
+		}
+		if j.Objective != "max-throughput" && !priced {
+			d.errf("%s.objective %q needs a prices block", at, j.Objective)
+		}
+	}
+	for i, ev := range sc.Events {
+		at := fmt.Sprintf("events[%d] (%s)", i, ev.Kind)
+		if ev.At < 0 || ev.At > f.Horizon {
+			d.errf("%s: at %v outside [0, horizon]", at, ev.At)
+		}
+		switch ev.Kind {
+		case "preempt":
+			if ev.Count < 1 {
+				d.errf("%s: count must be positive", at)
+			}
+			if ev.VM >= 0 {
+				d.errf("%s: vm pinning is not supported in fleet mode (victims are seeded draws)", at)
+			}
+		case "price-shock":
+			if ev.Factor <= 0 {
+				d.errf("%s: factor must be positive", at)
+			}
+			if !priced {
+				d.errf("%s: needs a prices block", at)
+			}
+		default:
+			d.errf("%s: fleet mode supports only preempt and price-shock events", at)
 		}
 	}
 }

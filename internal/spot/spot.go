@@ -394,35 +394,15 @@ func (e Event) String() string {
 
 // EventTrace generates a full allocation/preemption event stream for a
 // job that keeps trying to hold target GPUs over the horizon — the
-// input the Varuna manager consumes (Figure 8's 60-hour run).
+// input the Varuna manager consumes (Figure 8's 60-hour run). It is a
+// Pool driven through every probe tick up front: the pregenerated
+// trace and the tick-by-tick arbiter path consume the market's random
+// stream identically.
 func EventTrace(mk *Market, target int, horizon simtime.Duration, probe simtime.Duration) []Event {
 	var out []Event
-	nextVM := 0
-	live := make(map[int]bool)
-	var order []int
+	p := NewPool(mk, target)
 	runProbeLoop(horizon, probe, func(t simtime.Time) {
-		haz := mk.PreemptionHazard(t) * probe.Seconds() / 3600
-		for i := 0; i < len(order); i++ {
-			id := order[i]
-			if !live[id] {
-				continue
-			}
-			if mk.rng.Float64() < haz {
-				mk.Release()
-				live[id] = false
-				out = append(out, Event{At: t, Kind: Preempt, VM: id, GPUs: mk.GPUsPerVM})
-			}
-		}
-		for i := 0; i < 8 && mk.held < target; i++ {
-			if !mk.TryAllocate(t) {
-				break
-			}
-			id := nextVM
-			nextVM++
-			live[id] = true
-			order = append(order, id)
-			out = append(out, Event{At: t, Kind: Alloc, VM: id, GPUs: mk.GPUsPerVM})
-		}
+		out = append(out, p.Tick(t, probe)...)
 	})
 	return out
 }
