@@ -17,17 +17,22 @@
 //	varuna-sim run elastic                           # or a committed scenario
 //	varuna-sim run chaos-stress -json report.json    # machine-readable report
 //	varuna-sim run restart-cost -state ./state       # persist planner+meter
+//	varuna-sim run multi-job -trace trace.json       # + Chrome trace export
+//	varuna-sim trace multi-job                       # trace-first shorthand
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/scenarios"
 )
@@ -42,101 +47,249 @@ func specByName(name string) (*model.Spec, bool) {
 	return nil, false
 }
 
-// runScenario implements `varuna-sim run <scenario>`: load (from disk
-// or the committed scenarios/ set), compile, execute, report.
-func runScenario(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	jsonOut := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
-	stateDir := fs.String("state", "", "state directory: load planner+meter before the run, save after")
-	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: varuna-sim run <scenario.yaml | committed name> [-json path] [-state dir]\ncommitted scenarios:\n")
-		entries, _ := scenarios.FS.ReadDir(".")
-		for _, e := range entries {
-			if strings.HasSuffix(e.Name(), ".yaml") {
-				fmt.Fprintf(os.Stderr, "  %s\n", strings.TrimSuffix(e.Name(), ".yaml"))
-			}
-		}
-		fs.PrintDefaults()
+// loadScenario resolves a name to a scenario: a file on disk first,
+// then the committed scenarios/ set.
+func loadScenario(name string) (*scenario.Scenario, error) {
+	if _, statErr := os.Stat(name); statErr == nil {
+		return scenario.Load(name)
 	}
+	if data, fsErr := scenarios.FS.ReadFile(strings.TrimSuffix(name, ".yaml") + ".yaml"); fsErr == nil {
+		return scenario.Parse(data)
+	}
+	return nil, fmt.Errorf("%q is neither a file nor a committed scenario", name)
+}
+
+// parseScenarioArgs parses a subcommand's flags around the positional
+// scenario name (`run chaos-stress -json r.json` works: flag parsing
+// stops at the first positional, so we parse, take the positional,
+// and parse the remainder). Exits with usage on error.
+func parseScenarioArgs(fs *flag.FlagSet, args []string) string {
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		fs.Usage()
 		os.Exit(2)
 	}
 	name := fs.Arg(0)
-	// Accept flags after the scenario name too (`run chaos-stress
-	// -json r.json`): flag parsing stops at the first positional.
 	fs.Parse(fs.Args()[1:])
 	if fs.NArg() != 0 {
 		fs.Usage()
 		os.Exit(2)
 	}
+	return name
+}
 
-	var sc *scenario.Scenario
-	var err error
-	if _, statErr := os.Stat(name); statErr == nil {
-		sc, err = scenario.Load(name)
-	} else if data, fsErr := scenarios.FS.ReadFile(strings.TrimSuffix(name, ".yaml") + ".yaml"); fsErr == nil {
-		sc, err = scenario.Parse(data)
-	} else {
-		err = fmt.Errorf("%q is neither a file nor a committed scenario", name)
+// listScenarios prints the committed scenario names to stderr.
+func listScenarios() {
+	entries, _ := scenarios.FS.ReadDir(".")
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".yaml") {
+			fmt.Fprintf(os.Stderr, "  %s\n", strings.TrimSuffix(e.Name(), ".yaml"))
+		}
 	}
+}
+
+// writeMemProfile snapshots the allocation profile after a forced GC,
+// the same discipline varuna-bench uses.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "varuna-sim: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "varuna-sim: -memprofile: %v\n", err)
+	}
+}
+
+// observedRun compiles and executes a scenario with the given
+// observability hooks attached (both may be nil — then the run is
+// byte-identical to an unobserved one) and returns the report pieces
+// the CLI prints. Fleet-mode scenarios go through the arbiter; -state
+// is a single-job facility only.
+func observedRun(sc *scenario.Scenario, stateDir string, tr *obs.Tracer, met *obs.Metrics) (summary string, jsonBytes func() ([]byte, error), violations []string, err error) {
+	if sc.Fleet != nil {
+		if stateDir != "" {
+			return "", nil, nil, fmt.Errorf("-state is not supported for fleet scenarios")
+		}
+		c, err := scenario.CompileFleet(sc)
+		if err != nil {
+			return "", nil, nil, err
+		}
+		c.Observe(tr, met)
+		res, err := c.Run()
+		if err != nil {
+			return "", nil, nil, err
+		}
+		return res.Report.Summary(), res.Report.JSON, res.Report.Violations, nil
+	}
+	c, err := scenario.Compile(sc)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	c.Observe(tr, met)
+	res, err := c.Run(stateDir)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return res.Report.Summary(), res.Report.JSON, res.Report.Violations, nil
+}
+
+// runScenario implements `varuna-sim run <scenario>`: load (from disk
+// or the committed scenarios/ set), compile, execute, report. Returns
+// the process exit code so deferred profile writers run before exit.
+func runScenario(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
+	stateDir := fs.String("state", "", "state directory: load planner+meter before the run, save after")
+	traceOut := fs.String("trace", "", "export a Chrome trace-event JSON of the run to this path (open in Perfetto or chrome://tracing)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write an end-of-run allocation profile to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: varuna-sim run <scenario.yaml | committed name> [-json path] [-state dir] [-trace path] [-cpuprofile path] [-memprofile path]\ncommitted scenarios:\n")
+		listScenarios()
+		fs.PrintDefaults()
+	}
+	name := parseScenarioArgs(fs, args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
+
+	sc, err := loadScenario(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
 
-	// A fleet-mode scenario runs N jobs through the arbiter and emits
-	// the fleet report; single-job scenarios keep the direct path.
-	var summary string
-	var jsonBytes func() ([]byte, error)
-	var violations []string
-	if sc.Fleet != nil {
-		if *stateDir != "" {
-			fmt.Fprintln(os.Stderr, "varuna-sim run: -state is not supported for fleet scenarios")
-			os.Exit(1)
-		}
-		res, err := scenario.RunFleet(sc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			os.Exit(1)
-		}
-		summary, jsonBytes, violations = res.Report.Summary(), res.Report.JSON, res.Report.Violations
-	} else {
-		res, err := scenario.Run(sc, *stateDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			os.Exit(1)
-		}
-		summary, jsonBytes, violations = res.Report.Summary(), res.Report.JSON, res.Report.Violations
+	// Observability is attached only when asked for: with -trace unset
+	// both hooks stay nil and the run (and its report bytes) is
+	// identical to an unobserved one.
+	var tr *obs.Tracer
+	var met *obs.Metrics
+	if *traceOut != "" {
+		tr = obs.NewTracer()
+		met = obs.NewMetrics()
+	}
+
+	summary, jsonBytes, violations, err := observedRun(sc, *stateDir, tr, met)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+		return 1
 	}
 	fmt.Print(summary)
 
+	if *traceOut != "" {
+		if err := writeTrace(tr, met, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			return 1
+		}
+	}
 	if *jsonOut != "" {
 		data, err := jsonBytes()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			os.Exit(1)
+			return 1
 		}
 		data = append(data, '\n')
 		if *jsonOut == "-" {
 			os.Stdout.Write(data)
 		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if len(violations) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeTrace exports the Chrome trace and prints the wall-clock
+// self-profiling block (planner sweep / arbiter tick latencies) that
+// never enters the deterministic report.
+func writeTrace(tr *obs.Tracer, met *obs.Metrics, path string) error {
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace:     %d spans on %d tracks → %s\n", tr.Len(), len(tr.Tracks()), path)
+	if ws := met.Snapshot(obs.WallOnly).Summary(); ws != "" {
+		fmt.Print("self-profiling (wall-clock, not in report):\n" + ws)
+	}
+	return nil
+}
+
+// traceScenario implements `varuna-sim trace <scenario>`: run the
+// scenario with tracing on and export the Chrome trace, defaulting the
+// output path to <scenario>.trace.json. Shorthand for
+// `run <scenario> -trace <scenario>.trace.json` minus the report JSON.
+func traceScenario(args []string) int {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("o", "", "trace output path (default <scenario>.trace.json)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: varuna-sim trace <scenario.yaml | committed name> [-o path]\ncommitted scenarios:\n")
+		listScenarios()
+		fs.PrintDefaults()
+	}
+	name := parseScenarioArgs(fs, args)
+
+	sc, err := loadScenario(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim trace:", err)
+		return 1
+	}
+	path := *out
+	if path == "" {
+		path = sc.Name + ".trace.json"
+	}
+
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
+	tr := obs.NewTracer()
+	met := obs.NewMetrics()
+	summary, _, violations, err := observedRun(sc, "", tr, met)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim trace:", err)
+		return 1
+	}
+	fmt.Print(summary)
+	if err := writeTrace(tr, met, path); err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim trace:", err)
+		return 1
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "run" {
-		runScenario(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(runScenario(os.Args[2:]))
+		case "trace":
+			os.Exit(traceScenario(os.Args[2:]))
+		}
 	}
 	modelName := flag.String("model", "GPT2-2.5B", "model name (see model zoo)")
 	gpus := flag.Int("gpus", 100, "available GPUs")

@@ -3,9 +3,11 @@ package autoconfig
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/gen2"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Planner owns the morph decisions of one training job across its
@@ -48,6 +50,7 @@ type Planner struct {
 	decHits  uint64
 	decMiss  uint64
 	invalids uint64
+	met      *obs.Metrics
 }
 
 // Default cache bounds: generous for any realistic fleet (one decision
@@ -83,6 +86,18 @@ func NewPlannerCapped(in Inputs, costEntries, decisions int) *Planner {
 		decCap:  decisions,
 		dec:     gen2.New[int, plannerDecision](decisions, 0),
 	}
+}
+
+// SetObserver points the Planner at a metrics registry. Each Sweep
+// then self-profiles its wall-clock latency into the
+// "wall.planner.sweep_us" histogram — the ROADMAP item 2 measurement
+// baseline — and Best(g) memo lookups count into
+// "planner.decision_{hits,misses}". A nil registry (the default)
+// disables observation; decisions are unaffected either way.
+func (pl *Planner) SetObserver(m *obs.Metrics) {
+	pl.mu.Lock()
+	pl.met = m
+	pl.mu.Unlock()
 }
 
 // Inputs reports the job description the Planner currently plans for.
@@ -134,9 +149,16 @@ func sameCuts(a, b []model.CutPoint) bool {
 // bit-identical to the stateless Sweep.
 func (pl *Planner) Sweep(g int) ([]Choice, error) {
 	pl.mu.Lock()
-	in, cache := pl.in, pl.cache
+	in, cache, met := pl.in, pl.cache, pl.met
 	pl.sweeps++
 	pl.mu.Unlock()
+	if met.Enabled() {
+		start := time.Now()
+		defer func() {
+			met.Observe("wall.planner.sweep_us", float64(time.Since(start).Microseconds()))
+			met.Count("planner.sweeps", 1)
+		}()
+	}
 	return sweepWorkers(in, g, runtime.GOMAXPROCS(0), cache)
 }
 
@@ -157,11 +179,15 @@ func (pl *Planner) Best(g int) (Choice, error) {
 	pl.mu.Lock()
 	if dec, ok := pl.dec.Get(g); ok {
 		pl.decHits++
+		met := pl.met
 		pl.mu.Unlock()
+		met.Count("planner.decision_hits", 1)
 		return dec.choice, dec.err
 	}
 	pl.decMiss++
+	met := pl.met
 	pl.mu.Unlock()
+	met.Count("planner.decision_misses", 1)
 
 	choice, err := best(g, pl.Sweep)
 

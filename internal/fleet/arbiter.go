@@ -3,9 +3,11 @@ package fleet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/autoconfig"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/spot"
 )
@@ -27,10 +29,13 @@ type jobState struct {
 
 // freeVM is unleased capacity the arbiter holds: a fresh market grant,
 // an acked revocation, or a voluntary release (from records the
-// releasing job, which must not get it back).
+// releasing job, which must not get it back). cause is the span that
+// freed it — a later lease of this VM parents there, so the trace
+// connects grant → lease and revocation → handoff → re-lease.
 type freeVM struct {
 	vm, gpus int
 	from     int // releasing job index, or -1
+	cause    obs.SpanID
 }
 
 // handoff is a revoked VM in flight: it joins the free list only once
@@ -41,6 +46,7 @@ type handoff struct {
 	vm, gpus int
 	at       simtime.Time
 	victim   int
+	cause    obs.SpanID // the revocation span, carried to the re-lease
 }
 
 // arbiter co-simulates N manager control loops and the pool probe loop
@@ -73,6 +79,16 @@ type arbiter struct {
 
 	meanRate float64
 	audit    *Audit
+
+	// tr/met mirror Options.Trace/Metrics (nil-safe). trkMkt/trkArb
+	// are the market and arbiter control tracks; curTick is the span
+	// of the probe currently executing — the parent every market
+	// event, lease and cascade of that probe hangs off.
+	tr      *obs.Tracer
+	met     *obs.Metrics
+	trkMkt  obs.TrackID
+	trkArb  obs.TrackID
+	curTick obs.SpanID
 }
 
 func newArbiter(mk *spot.Market, jobs []*Job, opts Options) *arbiter {
@@ -93,7 +109,21 @@ func newArbiter(mk *spot.Market, jobs []*Job, opts Options) *arbiter {
 	if opts.Prices != nil {
 		a.meanRate = opts.Prices.Mean(0, a.hz)
 	}
+	a.tr, a.met = opts.Trace, opts.Metrics
+	if a.tr.Enabled() {
+		// Control tracks first, then one track per job in job order —
+		// the stable export layout.
+		a.trkMkt = a.tr.Track("market")
+		a.trkArb = a.tr.Track("arbiter")
+	}
 	for i, j := range jobs {
+		if opts.Trace != nil {
+			j.Mgr.Opts.Trace = opts.Trace
+			j.Mgr.Opts.TraceTrack = opts.Trace.Track("job:" + j.Name)
+		}
+		if opts.Metrics != nil {
+			j.Mgr.Opts.Metrics = opts.Metrics
+		}
 		a.jobs = append(a.jobs, &jobState{
 			idx:      i,
 			cfg:      j,
@@ -202,6 +232,13 @@ func (a *arbiter) bidOrder(t simtime.Time, bids []float64) []int {
 // revocation cascades for jobs under their floors.
 func (a *arbiter) tick(int32, int32) {
 	t := a.q.Now()
+	var wall time.Time
+	if a.met.Enabled() {
+		wall = time.Now()
+	}
+	if a.tr.Enabled() {
+		a.curTick = a.tr.Instant(a.trkArb, 0, t, "arbiter", "tick")
+	}
 
 	// Scripted reclaims due now feed back into the market before its
 	// own dynamics advance.
@@ -217,11 +254,20 @@ func (a *arbiter) tick(int32, int32) {
 	// leased VMs pass through to the owning job.
 	for _, ev := range a.pool.Tick(t, a.probe) {
 		a.audit.PoolEvents++
+		var cause obs.SpanID
+		if a.tr.Enabled() {
+			name := "grant"
+			if ev.Kind == spot.Preempt {
+				name = "reclaim"
+			}
+			cause = a.tr.Instant(a.trkMkt, a.curTick, t, "market", name)
+			a.tr.SetArgs(cause, obs.I64("vm", int64(ev.VM)), obs.I64("gpus", int64(ev.GPUs)))
+		}
 		switch ev.Kind {
 		case spot.Alloc:
-			a.free = append(a.free, freeVM{vm: ev.VM, gpus: ev.GPUs, from: -1})
+			a.free = append(a.free, freeVM{vm: ev.VM, gpus: ev.GPUs, from: -1, cause: cause})
 		case spot.Preempt:
-			a.poolPreempt(ev, false)
+			a.poolPreempt(ev, false, cause)
 		}
 	}
 
@@ -233,7 +279,7 @@ func (a *arbiter) tick(int32, int32) {
 		kept := a.pending[:0]
 		for _, h := range a.pending {
 			if a.jobs[h.victim].feed.consumed >= h.at {
-				a.free = append(a.free, freeVM{vm: h.vm, gpus: h.gpus, from: -1})
+				a.free = append(a.free, freeVM{vm: h.vm, gpus: h.gpus, from: -1, cause: h.cause})
 			} else {
 				kept = append(kept, h)
 			}
@@ -243,6 +289,11 @@ func (a *arbiter) tick(int32, int32) {
 
 	bids := make([]float64, len(a.jobs))
 	order := a.bidOrder(t, bids)
+	if a.tr.Enabled() {
+		for _, idx := range order {
+			a.tr.SetArgs(a.curTick, obs.Arg{Key: "bid:" + a.jobs[idx].cfg.Name, Val: int64(bids[idx] * 1000)})
+		}
+	}
 	a.leaseRound(t, order)
 	a.cascades(t, order, bids)
 
@@ -251,6 +302,9 @@ func (a *arbiter) tick(int32, int32) {
 		a.q.ScheduleCall(next, a.onTick, 0, 0)
 	} else {
 		a.hasNext = false
+	}
+	if a.met.Enabled() {
+		a.met.Observe("wall.arbiter.tick_us", float64(time.Since(wall).Microseconds()))
 	}
 }
 
@@ -264,13 +318,19 @@ func (a *arbiter) scriptedKill(t simtime.Time) {
 	vm := ids[a.victimRng.Intn(len(ids))]
 	a.pool.Kill(vm)
 	a.audit.ScriptedKills++
-	a.poolPreempt(spot.Event{At: t, Kind: spot.Preempt, VM: vm, GPUs: a.pool.Market().GPUsPerVM}, true)
+	var cause obs.SpanID
+	if a.tr.Enabled() {
+		cause = a.tr.Instant(a.trkMkt, a.curTick, t, "market", "scripted-reclaim")
+		a.tr.SetArgs(cause, obs.I64("vm", int64(vm)))
+	}
+	a.poolPreempt(spot.Event{At: t, Kind: spot.Preempt, VM: vm, GPUs: a.pool.Market().GPUsPerVM}, true, cause)
 }
 
 // poolPreempt routes a market (or scripted) reclaim of a VM to
 // whoever holds it: the owning job sees an ordinary preemption; free
 // or in-flight VMs silently leave the books.
-func (a *arbiter) poolPreempt(ev spot.Event, scripted bool) {
+func (a *arbiter) poolPreempt(ev spot.Event, scripted bool, cause obs.SpanID) {
+	ev.Cause = int64(cause)
 	for _, j := range a.jobs {
 		if g, ok := j.leased[ev.VM]; ok {
 			delete(j.leased, ev.VM)
@@ -334,17 +394,27 @@ func (a *arbiter) leaseUpTo(t simtime.Time, j *jobState, limit int) {
 		}
 		f := a.free[picked]
 		a.free = append(a.free[:picked], a.free[picked+1:]...)
-		a.leaseTo(t, j, f.vm, f.gpus)
+		a.leaseTo(t, j, f.vm, f.gpus, f.cause)
 	}
 }
 
-// leaseTo delivers one VM to a job as an allocation event.
-func (a *arbiter) leaseTo(t simtime.Time, j *jobState, vm, gpus int) {
+// leaseTo delivers one VM to a job as an allocation event. parent is
+// the span that freed the VM (market grant, acked revocation,
+// voluntary release), so the trace chains capacity end to end.
+func (a *arbiter) leaseTo(t simtime.Time, j *jobState, vm, gpus int, parent obs.SpanID) {
 	j.leased[vm] = gpus
 	j.leasedGPUs += gpus
 	a.audit.lease(t, vm, j.idx, j.cfg.Name)
 	a.audit.Leases++
-	j.feed.push(spot.Event{At: t, Kind: spot.Alloc, VM: vm, GPUs: gpus})
+	ev := spot.Event{At: t, Kind: spot.Alloc, VM: vm, GPUs: gpus}
+	if a.tr.Enabled() {
+		ls := a.tr.Instant(a.trkArb, parent, t, "arbiter", "lease")
+		a.tr.SetArgs(ls,
+			obs.I64("vm", int64(vm)), obs.I64("gpus", int64(gpus)),
+			obs.Str("job", j.cfg.Name))
+		ev.Cause = int64(ls)
+	}
+	j.feed.push(ev)
 }
 
 // cascades restores every under-floor job, in bid order, by revoking
@@ -359,6 +429,7 @@ func (a *arbiter) cascades(t simtime.Time, order []int, bids []float64) {
 			continue
 		}
 		var c *Cascade
+		var cspan obs.SpanID
 		// Walk candidates from the lowest bid upward; only strictly
 		// lower bids than the beneficiary's are revocable.
 		for vi := len(order) - 1; vi > oi && deficit > 0; vi-- {
@@ -385,12 +456,25 @@ func (a *arbiter) cascades(t simtime.Time, order []int, bids []float64) {
 				v.leasedGPUs -= gpus
 				a.audit.unlease(vm)
 				a.audit.Revocations++
-				a.pending = append(a.pending, handoff{vm: vm, gpus: gpus, at: t, victim: v.idx})
-				v.feed.push(spot.Event{At: t, Kind: spot.Preempt, VM: vm, GPUs: gpus})
 				if c == nil {
 					a.audit.Cascades = append(a.audit.Cascades, Cascade{At: t, For: j.cfg.Name, ForBid: bids[idx]})
 					c = &a.audit.Cascades[len(a.audit.Cascades)-1]
+					if a.tr.Enabled() {
+						cspan = a.tr.Instant(a.trkArb, a.curTick, t, "arbiter", "cascade")
+						a.tr.SetArgs(cspan, obs.Str("for", j.cfg.Name), obs.I64("deficit_gpus", int64(deficit)))
+					}
 				}
+				rev := spot.Event{At: t, Kind: spot.Preempt, VM: vm, GPUs: gpus}
+				var rvspan obs.SpanID
+				if a.tr.Enabled() {
+					rvspan = a.tr.Instant(a.trkArb, cspan, t, "arbiter", "revoke")
+					a.tr.SetArgs(rvspan,
+						obs.I64("vm", int64(vm)), obs.I64("gpus", int64(gpus)),
+						obs.Str("victim", v.cfg.Name))
+					rev.Cause = int64(rvspan)
+				}
+				a.pending = append(a.pending, handoff{vm: vm, gpus: gpus, at: t, victim: v.idx, cause: rvspan})
+				v.feed.push(rev)
 				c.Victims = append(c.Victims, CascadeVictim{Job: v.cfg.Name, Bid: bids[order[vi]], VM: vm})
 				deficit -= gpus
 			}
@@ -470,7 +554,14 @@ func (f *jobFeed) Release(vm int, at simtime.Time) {
 	f.arb.audit.unlease(vm)
 	f.arb.audit.Releases++
 	f.arb.audit.releasedToPool(vm)
-	f.arb.free = append(f.arb.free, freeVM{vm: vm, gpus: g, from: j.idx})
+	var cause obs.SpanID
+	if f.arb.tr.Enabled() {
+		cause = f.arb.tr.Instant(f.arb.trkArb, 0, at, "arbiter", "release")
+		f.arb.tr.SetArgs(cause,
+			obs.I64("vm", int64(vm)), obs.I64("gpus", int64(g)),
+			obs.Str("from", j.cfg.Name))
+	}
+	f.arb.free = append(f.arb.free, freeVM{vm: vm, gpus: g, from: j.idx, cause: cause})
 }
 
 func (f *jobFeed) Driven() bool { return true }

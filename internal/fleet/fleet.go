@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/autoconfig"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/simtime"
 	"repro/internal/spot"
@@ -81,6 +82,17 @@ type Options struct {
 	Preempts []ScriptedPreempt
 	// VictimSeed seeds the scripted reclaims' victim draws.
 	VictimSeed int64
+	// Trace, when non-nil, records the run's causal spans: market
+	// grants/reclaims, arbiter ticks, leases, revocation cascades —
+	// and is threaded into every job's manager (one track per job), so
+	// a revocation's span parents the victim's preemption handling.
+	// Nil (the default) changes nothing: the run is bit-identical to
+	// an untraced one.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives registry metrics, including the
+	// wall-clock arbiter-tick self-profiling histogram
+	// ("wall.arbiter.tick_us").
+	Metrics *obs.Metrics
 }
 
 // JobResult is one job's view of a fleet run.
@@ -145,6 +157,13 @@ func Run(mk *spot.Market, jobs []*Job, opts Options) (*Result, error) {
 // path models them), so the whole trace is pregenerated and the
 // manager replays it bit-identically to core.Job.RunOnSpotMarket.
 func runSingle(mk *spot.Market, j *Job, opts Options) (*Result, error) {
+	if opts.Trace != nil {
+		j.Mgr.Opts.Trace = opts.Trace
+		j.Mgr.Opts.TraceTrack = opts.Trace.Track("job:" + j.Name)
+	}
+	if opts.Metrics != nil {
+		j.Mgr.Opts.Metrics = opts.Metrics
+	}
 	events := spot.EventTrace(mk, j.TargetGPUs, opts.Horizon, opts.Probe)
 	points, stats, err := j.Mgr.RunTimeline(events, opts.Horizon)
 	if err != nil {

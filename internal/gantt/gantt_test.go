@@ -154,3 +154,90 @@ func TestUtilization(t *testing.T) {
 		t.Fatal("empty trace utilization must be zero")
 	}
 }
+
+// TestStripGolden pins Strip's exact rendering: segment projection,
+// later-segment overwrite, sub-column widening, clamping of segments
+// that start before the strip, and the all-idle fallbacks.
+func TestStripGolden(t *testing.T) {
+	segs := []Seg{
+		{Start: 0, End: 10, Glyph: '█'},  // [0,10) of 40 → cols 0-4
+		{Start: 10, End: 12, Glyph: '▒'}, // thin → widened to 1 col
+		{Start: 20, End: 40, Glyph: '█'}, // back half
+		{Start: 30, End: 34, Glyph: '░'}, // overwrites part of it
+		{Start: -4, End: 2, Glyph: 'x'},  // clamped, overwrites col 0
+		{Start: 16, End: 14, Glyph: '?'}, // inverted: dropped
+	}
+	got := Strip(segs, 40, 20)
+	want := "x████▒····█████░░███"
+	if got != want {
+		t.Fatalf("Strip drifted:\n got %q\nwant %q", got, want)
+	}
+	if got := Strip(nil, 40, 20); got != strings.Repeat("·", 20) {
+		t.Fatalf("empty strip %q", got)
+	}
+	if got := Strip(segs, 0, 20); got != strings.Repeat("·", 20) {
+		t.Fatalf("zero-horizon strip %q", got)
+	}
+	// Narrow widths clamp to 10 columns rather than collapse.
+	if got := Strip(segs, 40, 3); len([]rune(got)) != 10 {
+		t.Fatalf("narrow strip %q", got)
+	}
+}
+
+// parseCSV inverts CSV back into spans (stage/kind/micro/start/end).
+func parseCSV(t *testing.T, s string) []sim.TaskSpan {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	var out []sim.TaskSpan
+	for _, line := range lines[1:] {
+		var stage, micro int
+		var kind string
+		var start, end int64
+		if _, err := fmtSscanf(line, &stage, &kind, &micro, &start, &end); err != nil {
+			t.Fatalf("bad row %q: %v", line, err)
+		}
+		var k schedule.Kind
+		switch kind {
+		case schedule.Forward.String():
+			k = schedule.Forward
+		case schedule.Backward.String():
+			k = schedule.Backward
+		case schedule.Recompute.String():
+			k = schedule.Recompute
+		default:
+			t.Fatalf("unknown kind %q in %q", kind, line)
+		}
+		out = append(out, sim.TaskSpan{
+			Stage: stage,
+			Task:  schedule.Task{Kind: k, Micro: micro - 1},
+			Start: simtime.Time(start),
+			End:   simtime.Time(end),
+		})
+	}
+	return out
+}
+
+// TestCSVRoundTrip runs a traced pipeline simulation, exports it as
+// CSV, parses that back and re-exports: the round trip must be
+// lossless (identical bytes) and the recovered spans must re-render
+// the identical Gantt chart.
+func TestCSVRoundTrip(t *testing.T) {
+	tr, depth := trace(t)
+	out := CSV(tr)
+	back := parseCSV(t, out)
+	if len(back) != len(tr) {
+		t.Fatalf("round trip lost spans: %d -> %d", len(tr), len(back))
+	}
+	if again := CSV(back); again != out {
+		t.Fatal("CSV(parse(CSV(trace))) is not byte-identical")
+	}
+	if Render(back, depth, 60) != Render(tr, depth, 60) {
+		t.Fatal("recovered spans render a different chart")
+	}
+	u1, u2 := Utilization(tr, depth), Utilization(back, depth)
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatalf("stage %d utilization drifted: %v vs %v", i, u1[i], u2[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/autoconfig"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/restart"
 	"repro/internal/simtime"
@@ -100,6 +101,20 @@ type Options struct {
 	// fleet capacity the chosen configuration cannot use and need a
 	// price curve to decide against.
 	Objective autoconfig.Objective
+	// Trace, when non-nil, records the run's causal spans: fleet-event
+	// instants (parented on the arbiter span that caused them via
+	// spot.Event.Cause), morph decisions, restart phases, heartbeat
+	// checks and training segments, all on TraceTrack. Nil (the
+	// default) disables tracing with zero cost — the run is
+	// bit-identical and allocation-identical to an uninstrumented one.
+	Trace *obs.Tracer
+	// TraceTrack is the obs track this run's spans land on (one track
+	// per job in a fleet trace). Zero registers a default "job" track.
+	TraceTrack obs.TrackID
+	// Metrics, when non-nil, receives the run's registry metrics:
+	// simulated morph-downtime histograms and (via the Planner
+	// observer) wall-clock sweep self-profiling.
+	Metrics *obs.Metrics
 	// MeasureStragglers wires the held fleet's unflagged slow VMs into
 	// every segment measurement as testbed.JobConfig.ExtraSlow, so a
 	// degrading VM shows up in the *measured* mini-batch time — not
@@ -429,6 +444,77 @@ type timelineRun struct {
 	objIdx     int
 	obj        autoconfig.Objective
 	lastSlowFP string
+
+	// tr/trk/met mirror Options.Trace/TraceTrack/Metrics (nil-safe).
+	// segSpan is the open training-segment span; cause is the latest
+	// fleet-event instant, pending adoption as the next decision's
+	// parent — the link that makes "which preemption triggered which
+	// morph" a walkable chain.
+	tr      *obs.Tracer
+	trk     obs.TrackID
+	met     *obs.Metrics
+	segSpan obs.SpanID
+	cause   obs.SpanID
+}
+
+// emit records one timeline point — the single ordered path every
+// event kind goes through (morph/p/hold/checkpoint/down/net/straggler
+// and plain samples alike), so the point stream and the trace see the
+// same events in the same order. parent links the point's trace
+// instant into the causal chain (the decision span for decision
+// outcomes, the training segment for in-segment events).
+func (r *timelineRun) emit(parent obs.SpanID, p TimelinePoint) {
+	r.points = append(r.points, p)
+	if !r.tr.Enabled() {
+		return
+	}
+	name := p.Event
+	if name == "" {
+		name = "sample"
+	}
+	id := r.tr.Instant(r.trk, parent, p.At, "timeline", name)
+	args := make([]obs.Arg, 0, 5)
+	args = append(args, obs.I64("gpus", int64(p.GPUs)))
+	if p.Config.P > 0 {
+		args = append(args, obs.I64("P", int64(p.Config.P)), obs.I64("D", int64(p.Config.D)))
+	}
+	if p.Downtime > 0 {
+		args = append(args, obs.I64("downtime_us", int64(p.Downtime)))
+	}
+	if p.Released > 0 {
+		args = append(args, obs.I64("released", int64(p.Released)))
+	}
+	r.tr.SetArgs(id, args...)
+}
+
+// openSegment starts the resumed-training-segment span after a
+// decision (morph, replacement or hold) left the job running.
+func (r *timelineRun) openSegment(parent obs.SpanID) {
+	if !r.tr.Enabled() {
+		return
+	}
+	r.segSpan = r.tr.Begin(r.trk, parent, r.now, "manager", "train")
+	r.tr.SetArgs(r.segSpan,
+		obs.I64("P", int64(r.current.P)),
+		obs.I64("D", int64(r.current.D)))
+}
+
+// tracePlan records the planner consultation under a decision span:
+// one instant carrying the sweep and cache-activity deltas this
+// decision cost (all deterministic counters — wall-clock sweep latency
+// lives in the Metrics registry, never in the trace).
+func (r *timelineRun) tracePlan(dspan obs.SpanID, before autoconfig.PlannerStats) {
+	if !r.tr.Enabled() {
+		return
+	}
+	after := r.mg.Plan.Stats()
+	id := r.tr.Instant(r.trk, dspan, r.now, "planner", "sweep")
+	r.tr.SetArgs(id,
+		obs.I64("sweeps", int64(after.Sweeps-before.Sweeps)),
+		obs.I64("cost_hits", int64(after.CostHits-before.CostHits)),
+		obs.I64("cost_misses", int64(after.CostMisses-before.CostMisses)),
+		obs.I64("decision_hits", int64(after.DecisionHits-before.DecisionHits)),
+		obs.I64("decision_misses", int64(after.DecisionMisses-before.DecisionMisses)))
 }
 
 // paidGPUs sums the held fleet — everything the job pays for,
@@ -657,7 +743,7 @@ func (r *timelineRun) remeasure(event string) bool {
 	}
 	r.mbTime, r.exCur = ms.MiniBatchTime, ms.ExPerSec()
 	r.lastSlowFP = slowFP(slow)
-	r.points = append(r.points, TimelinePoint{
+	r.emit(r.segSpan, TimelinePoint{
 		At: r.now, GPUs: r.usableGPUs(), Config: choice, ExPerSec: r.exCur,
 		Event: event, DollarsSpent: r.dollars(),
 	})
@@ -745,8 +831,23 @@ func (r *timelineRun) morph(label string, forced bool) {
 	// rolled back to 0, so nothing (spurious) is flushed there.
 	dirty := r.running && r.sinceCkpt > 0
 
+	// A decision interrupts the running segment; the fleet-event
+	// instant that triggered it (r.cause) becomes the decision's
+	// parent, completing the market → arbiter → manager chain.
+	r.tr.End(r.segSpan, r.now)
+	r.segSpan = 0
+	var dspan obs.SpanID
+	var pstat autoconfig.PlannerStats
+	if r.tr.Enabled() {
+		dspan = r.tr.Begin(r.trk, r.cause, r.now, "manager", "decision")
+		r.tr.SetArgs(dspan, obs.Str("label", label), obs.I64("gpus", int64(g)))
+		pstat = r.mg.Plan.Stats()
+	}
+	r.cause = 0
+
 	obj := r.obj
 	var choice autoconfig.Choice
+	var costs restart.Costs
 	var down simtime.Duration
 	var err error
 	switch {
@@ -791,7 +892,10 @@ func (r *timelineRun) morph(label string, forced bool) {
 				released = r.releaseExcess(obj.RetainGPUs(r.current.GPUsUsed, r.econ()))
 			}
 			r.stats.Holds++
-			r.points = append(r.points, TimelinePoint{
+			r.tracePlan(dspan, pstat)
+			r.tr.End(dspan, r.now)
+			r.openSegment(dspan)
+			r.emit(dspan, TimelinePoint{
 				At: r.now, GPUs: g, Config: r.current,
 				ExPerSec:     r.exCur,
 				Event:        "hold",
@@ -800,7 +904,8 @@ func (r *timelineRun) morph(label string, forced bool) {
 			})
 			return
 		}
-		choice, down = dec.Choice, dec.Costs.Total()
+		choice, costs = dec.Choice, dec.Costs
+		down = costs.Total()
 	default:
 		// PolicyModeled, a cold start, or a forced restart: morph to
 		// the objective's best and charge the modeled price.
@@ -810,12 +915,15 @@ func (r *timelineRun) morph(label string, forced bool) {
 			if r.running {
 				old = restart.Assignment{Stages: r.current.Stages, D: r.current.D}
 			}
-			down = r.mg.RM.Price(old, restart.Assignment{Stages: choice.Stages, D: choice.D}, dirty).Total()
+			costs = r.mg.RM.Price(old, restart.Assignment{Stages: choice.Stages, D: choice.D}, dirty)
+			down = costs.Total()
 		}
 	}
+	r.tracePlan(dspan, pstat)
 	if err != nil {
 		r.running = false
-		r.points = append(r.points, TimelinePoint{At: r.now, GPUs: g, Event: "down", DollarsSpent: r.dollars()})
+		r.emit(dspan, TimelinePoint{At: r.now, GPUs: g, Event: "down", DollarsSpent: r.dollars()})
+		r.tr.End(dspan, r.now)
 		return
 	}
 	released := 0
@@ -827,6 +935,16 @@ func (r *timelineRun) morph(label string, forced bool) {
 	r.chargeDowntime(r.now.Add(down))
 	r.stats.Downtime += down
 	r.stats.MorphDowntime += down
+	if r.tr.Enabled() && down > 0 {
+		if costs.Total() > 0 {
+			restart.TracePhases(r.tr, r.trk, dspan, r.now, costs)
+		} else {
+			// PolicyConstant has no phase breakdown: one flat span.
+			id := r.tr.Begin(r.trk, dspan, r.now, "restart", "const")
+			r.tr.End(id, r.now.Add(down))
+		}
+	}
+	r.met.Observe("manager.morph_downtime_us", float64(down))
 	r.now = r.now.Add(down)
 	if dirty {
 		// The morph's flush persisted everything since the last
@@ -864,6 +982,7 @@ func (r *timelineRun) morph(label string, forced bool) {
 		})
 		if err != nil {
 			r.running = false
+			r.tr.End(dspan, r.now)
 			return
 		}
 		if clean {
@@ -873,7 +992,9 @@ func (r *timelineRun) morph(label string, forced bool) {
 		r.mbTime, r.exCur = ms.MiniBatchTime, ms.ExPerSec()
 	}
 	r.lastSlowFP = slowFP(slow)
-	r.points = append(r.points, TimelinePoint{
+	r.tr.End(dspan, r.now)
+	r.openSegment(dspan)
+	r.emit(dspan, TimelinePoint{
 		At: r.now, GPUs: g, Config: choice, ExPerSec: r.exCur,
 		Event: label, Downtime: down,
 		DollarsSpent: r.dollars(), Released: released,
@@ -930,10 +1051,27 @@ func (r *timelineRun) step(int32, int32) {
 		}
 		r.gaps.ObserveKind(ev.At, ev.Kind)
 		pre := r.applyEvent(ev)
+		if r.tr.Enabled() {
+			name := "alloc"
+			if pre {
+				name = "preempt"
+			}
+			id := r.tr.Instant(r.trk, obs.SpanID(ev.Cause), r.now, "fleet", name)
+			r.tr.SetArgs(id, obs.I64("vm", int64(ev.VM)), obs.I64("gpus", int64(ev.GPUs)))
+			// The decision this step ends in parents on the most telling
+			// event: the latest preemption, else the first arrival.
+			if pre || r.cause == 0 {
+				r.cause = id
+			}
+		}
 		preempted = preempted || pre
 		fleetChanged = true
 	}
 	if preempted && r.running {
+		if r.tr.Enabled() && r.sinceCkpt > 0 {
+			id := r.tr.Instant(r.trk, r.cause, r.now, "manager", "rollback")
+			r.tr.SetArgs(id, obs.I64("lost_minibatches", int64(r.sinceCkpt)))
+		}
 		// Roll back to the last checkpoint.
 		r.stats.LostMiniBatches += r.sinceCkpt
 		r.stats.Examples -= float64(r.sinceCkpt * r.current.Examples)
@@ -988,7 +1126,7 @@ func (r *timelineRun) step(int32, int32) {
 			r.stats.Downtime += r.mg.Opts.CheckpointOverhead
 			r.stats.Checkpoints++
 			r.sinceCkpt = 0
-			r.points = append(r.points, TimelinePoint{
+			r.emit(r.segSpan, TimelinePoint{
 				At: r.now, GPUs: r.usableGPUs(), Config: r.current,
 				ExPerSec:     float64(r.current.Examples) / r.mbTime.Seconds(),
 				Event:        "checkpoint",
@@ -1005,7 +1143,14 @@ func (r *timelineRun) step(int32, int32) {
 		if r.mg.Opts.HeartbeatEvery > 0 && r.now >= r.nextHB {
 			r.nextHB = r.now.Add(r.mg.Opts.HeartbeatEvery)
 			r.applyDegradations()
-			if r.heartbeatCheck() > 0 {
+			if flagged := r.heartbeatCheck(); flagged > 0 {
+				if r.tr.Enabled() {
+					id := r.tr.Instant(r.trk, r.segSpan, r.now, "manager", "heartbeat")
+					r.tr.SetArgs(id, obs.I64("flagged", int64(flagged)))
+					// A flagged fail-stutter VM is what forces the
+					// reconfiguration below: the heartbeat is its cause.
+					r.cause = id
+				}
 				r.chargeTraining(r.now)
 				key := [2]int{r.current.P, r.current.D}
 				delete(r.mbCache, key)
@@ -1108,6 +1253,15 @@ func (mg *Manager) StartOn(q *simtime.EventQueue, feed Feed, horizon simtime.Dur
 		mbCache:  make(map[[2]int]simtime.Duration),
 		exCache:  make(map[[2]int]float64),
 		released: make(map[int]bool),
+		tr:       mg.Opts.Trace,
+		trk:      mg.Opts.TraceTrack,
+		met:      mg.Opts.Metrics,
+	}
+	if r.tr.Enabled() && r.trk == 0 {
+		r.trk = r.tr.Track("job")
+	}
+	if r.met.Enabled() {
+		mg.Plan.SetObserver(r.met)
 	}
 	switch {
 	case mg.Opts.Meter != nil:
@@ -1165,6 +1319,7 @@ func (ru *Run) Finish() ([]TimelinePoint, Stats) {
 		return r.points, r.stats
 	}
 	ru.finished = true
+	r.tr.End(r.segSpan, r.now)
 	if r.stats.Examples < 0 {
 		r.stats.Examples = 0
 	}

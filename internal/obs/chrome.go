@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace-event export: the recorded spans as a JSON Object
+// Format trace (https://docs.google.com/document/d/1CvAClvFfyA5R-
+// PhYUmn5OOQtYMH4h6I0nSsKchNAySU) loadable in chrome://tracing and
+// https://ui.perfetto.dev. The mapping:
+//
+//   - simulated microseconds map 1:1 to trace timestamps (both are µs
+//     since origin);
+//   - each obs track becomes one thread of a single "varuna-sim"
+//     process, in registration order (market and arbiter control
+//     tracks first, then one track per job);
+//   - spans become complete ("X") events, instants zero-duration ones;
+//   - every parent link is carried in args.parent, and cross-track
+//     parent links are additionally rendered as flow arrows ("s"/"f"
+//     pairs) so Perfetto draws the market-reclaim → revocation →
+//     morph-decision causality across tracks.
+//
+// Export is deterministic: events are written in span recording order
+// with fixed field order, so a bit-identical replay exports a
+// byte-identical trace file.
+
+// chromeEvent is one trace event with the exact field order the
+// exporter commits to (stable bytes).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// ChromeTrace renders the recorded spans as Chrome trace-event JSON.
+// A nil tracer exports an empty (but valid) trace.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(ev chromeEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.Write(data)
+		return nil
+	}
+
+	// Process + thread metadata: one process, one named thread per
+	// track, ordered by registration.
+	if err := emit(chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "varuna-sim"},
+	}); err != nil {
+		return nil, err
+	}
+	for i, name := range t.Tracks() {
+		tid := i + 1
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"name": name},
+		}); err != nil {
+			return nil, err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]any{"sort_index": tid},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	spans := t.Spans()
+	for _, sp := range spans {
+		dur := int64(sp.End.Sub(sp.Start))
+		ev := chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			TS: int64(sp.Start), Dur: &dur,
+			PID: chromePID, TID: int(sp.Track),
+			Args: map[string]any{"span": int64(sp.ID)},
+		}
+		if sp.Parent > 0 {
+			ev.Args["parent"] = int64(sp.Parent)
+		}
+		for _, a := range sp.Args {
+			if a.Str != "" {
+				ev.Args[a.Key] = a.Str
+			} else {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if err := emit(ev); err != nil {
+			return nil, err
+		}
+		// Cross-track causality as a flow arrow: start at the parent's
+		// opening instant, finish at the child's. Flow id = child span
+		// id, so every arrow is its own binding.
+		if sp.Parent > 0 && int(sp.Parent) <= len(spans) {
+			par := spans[sp.Parent-1]
+			if par.Track != sp.Track {
+				fid := fmt.Sprintf("0x%x", int64(sp.ID))
+				if err := emit(chromeEvent{
+					Name: "cause", Cat: "flow", Ph: "s",
+					TS: int64(par.Start), PID: chromePID, TID: int(par.Track), ID: fid,
+				}); err != nil {
+					return nil, err
+				}
+				if err := emit(chromeEvent{
+					Name: "cause", Cat: "flow", Ph: "f", BP: "e",
+					TS: int64(sp.Start), PID: chromePID, TID: int(sp.Track), ID: fid,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return buf.Bytes(), nil
+}

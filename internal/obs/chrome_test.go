@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildTrace records a miniature cross-track causal chain: a market
+// reclaim causing a job-track preemption, decision and restart phase.
+func buildTrace() *Tracer {
+	tr := NewTracer()
+	mkt := tr.Track("market")
+	job := tr.Track("job:a")
+	reclaim := tr.Instant(mkt, 0, 10, "market", "reclaim")
+	tr.SetArgs(reclaim, I64("vm", 3), I64("gpus", 1))
+	pre := tr.Instant(job, reclaim, 10, "fleet", "preempt")
+	dec := tr.Begin(job, pre, 10, "manager", "decision")
+	tr.SetArgs(dec, Str("label", "morph 4x2 -> 3x2"))
+	stop := tr.Begin(job, dec, 10, "restart", "stop")
+	tr.End(stop, 40)
+	tr.End(dec, 40)
+	return tr
+}
+
+type traceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  *int64         `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		ID   string         `json:"id"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	data, err := buildTrace().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, data)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", f.DisplayTimeUnit)
+	}
+
+	var meta, complete, flowS, flowF int
+	threadNames := map[int]string{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threadNames[ev.TID] = ev.Args["name"].(string)
+			}
+		case "X":
+			complete++
+			if ev.Dur == nil {
+				t.Fatalf("X event %q without dur", ev.Name)
+			}
+			if _, ok := ev.Args["span"]; !ok {
+				t.Fatalf("X event %q without span id", ev.Name)
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	// process_name + 2×(thread_name, thread_sort_index).
+	if meta != 5 {
+		t.Fatalf("%d metadata events, want 5", meta)
+	}
+	if threadNames[1] != "market" || threadNames[2] != "job:a" {
+		t.Fatalf("thread names %v", threadNames)
+	}
+	if complete != 4 {
+		t.Fatalf("%d X events, want 4", complete)
+	}
+	// Exactly one cross-track parent link (reclaim → preempt): one
+	// flow start/finish pair.
+	if flowS != 1 || flowF != 1 {
+		t.Fatalf("flow pairs %d/%d, want 1/1", flowS, flowF)
+	}
+
+	// The decision span keeps its duration and parent annotation.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "decision" {
+			if *ev.Dur != 30 {
+				t.Fatalf("decision dur %d, want 30", *ev.Dur)
+			}
+			if ev.Args["parent"].(float64) != 2 {
+				t.Fatalf("decision parent %v", ev.Args["parent"])
+			}
+		}
+	}
+}
+
+func TestChromeTraceByteStable(t *testing.T) {
+	a, err := buildTrace().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildTrace().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical recordings export different bytes")
+	}
+}
+
+func TestChromeTraceNil(t *testing.T) {
+	var tr *Tracer
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("nil export invalid: %v", err)
+	}
+	// Just the process_name metadata record.
+	if len(f.TraceEvents) != 1 || f.TraceEvents[0].Ph != "M" {
+		t.Fatalf("nil export events %+v", f.TraceEvents)
+	}
+}

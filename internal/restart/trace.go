@@ -1,0 +1,31 @@
+package restart
+
+import (
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// phaseNames orders the four reconfiguration phases as they execute.
+var phaseNames = [...]string{"stop", "flush", "redistribute", "restart"}
+
+// TracePhases emits one priced reconfiguration as four sequential child
+// spans — stop → flush → redistribute → restart — on the given track,
+// starting at start and parented to the morph-decision span that paid
+// for them. Zero-duration phases are skipped (a clean rollback has no
+// flush; a pure replacement has no redistribution). Returns the end of
+// the last phase, which equals start + c.Total().
+func TracePhases(tr *obs.Tracer, track obs.TrackID, parent obs.SpanID, start simtime.Time, c Costs) simtime.Time {
+	at := start
+	if !tr.Enabled() {
+		return at.Add(c.Total())
+	}
+	for i, d := range [...]simtime.Duration{c.Stop, c.Flush, c.Redistribute, c.Restart} {
+		if d <= 0 {
+			continue
+		}
+		id := tr.Begin(track, parent, at, "restart", phaseNames[i])
+		at = at.Add(d)
+		tr.End(id, at)
+	}
+	return at
+}

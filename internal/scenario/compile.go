@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/manager"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/simtime"
 	"repro/internal/spot"
@@ -39,6 +40,21 @@ type Compiled struct {
 	// ScriptEvents counts the scripted+chaos events applied (after
 	// chaos expansion, before victim resolution).
 	ScriptEvents int
+
+	// trace/met are the observability hooks Observe attaches; both nil
+	// (fully disabled, bit-identical output) by default.
+	trace *obs.Tracer
+	met   *obs.Metrics
+}
+
+// Observe attaches a tracer and/or metrics registry to the compiled
+// scenario before Run: spans land on the tracer, registry metrics
+// (including the "wall."-prefixed self-profiling) on the registry, and
+// the report gains the deterministic (SimOnly) snapshot. Either may be
+// nil. With both nil the run is byte-identical to an unobserved one.
+func (c *Compiled) Observe(tr *obs.Tracer, m *obs.Metrics) {
+	c.trace = tr
+	c.met = m
 }
 
 // specByName resolves a model-zoo name case-insensitively, accepting

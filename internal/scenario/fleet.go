@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/hw"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/simtime"
 	"repro/internal/spot"
@@ -33,6 +34,21 @@ type CompiledFleet struct {
 	Horizon   simtime.Duration
 	// ScriptEvents counts the scripted events compiled in.
 	ScriptEvents int
+
+	// trace/met are the observability hooks Observe attaches; both nil
+	// (fully disabled, bit-identical output) by default.
+	trace *obs.Tracer
+	met   *obs.Metrics
+}
+
+// Observe attaches a tracer and/or metrics registry to the compiled
+// fleet before Run — the arbiter, the market and every job's manager
+// record into them (one trace track per job, after the market and
+// arbiter control tracks). Either may be nil; with both nil the run is
+// byte-identical to an unobserved one.
+func (c *CompiledFleet) Observe(tr *obs.Tracer, m *obs.Metrics) {
+	c.trace = tr
+	c.met = m
 }
 
 // CompileFleet resolves a fleet-mode scenario: calibrates every job,
@@ -166,16 +182,19 @@ func RunFleet(sc *Scenario) (*FleetResult, error) {
 // freshly-compiled inputs replay bit-identically.
 func (c *CompiledFleet) Run() (*FleetResult, error) {
 	sc := c.Scenario
-	res, err := fleet.Run(c.Market, c.Jobs, c.Opts)
+	opts := c.Opts
+	opts.Trace, opts.Metrics = c.trace, c.met
+	res, err := fleet.Run(c.Market, c.Jobs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	out := &FleetResult{Compiled: c, Audit: res.Audit}
-	for _, jr := range res.Jobs {
+	for i, jr := range res.Jobs {
 		synth := &Compiled{
 			Scenario: &Scenario{Name: sc.Name + "/" + jr.Name, Description: sc.Description},
 			Horizon:  c.Horizon,
 			Events:   jr.Events,
+			met:      c.met,
 		}
 		synth.ScriptEvents = c.ScriptEvents
 		out.Jobs = append(out.Jobs, FleetJobRun{
@@ -185,8 +204,24 @@ func (c *CompiledFleet) Run() (*FleetResult, error) {
 			Events: jr.Events,
 			Report: buildReport(synth, jr.Points, jr.Stats),
 		})
+		if c.met != nil {
+			c.met.Gauge("planner."+jr.Name+".cost_hit_rate", c.Jobs[i].Mgr.Plan.Stats().HitRate())
+			if i < len(c.JobMeters) && c.JobMeters[i] != nil {
+				c.met.Gauge("dollars."+jr.Name+".total", c.JobMeters[i].Total())
+				c.met.Gauge("dollars."+jr.Name+".compute", c.JobMeters[i].InBucket(price.Compute))
+				c.met.Gauge("dollars."+jr.Name+".reconfig", c.JobMeters[i].InBucket(price.Reconfig))
+				c.met.Gauge("dollars."+jr.Name+".idle", c.JobMeters[i].InBucket(price.Idle))
+			}
+		}
+	}
+	if c.met != nil && c.PoolMeter != nil {
+		c.met.Gauge("dollars.pool", c.PoolMeter.Total())
 	}
 	out.Report = buildFleetReport(c, out)
+	if c.met != nil {
+		snap := c.met.Snapshot(obs.SimOnly)
+		out.Report.Obs = &snap
+	}
 	return out, nil
 }
 
@@ -213,6 +248,12 @@ type FleetReport struct {
 	// Violations aggregates the arbiter audit's structural violations,
 	// every job's report violations, and the shared-bill sum check.
 	Violations []string `json:"violations"`
+
+	// Obs is the deterministic (SimOnly) metrics-registry snapshot of
+	// an observed run — wall-clock self-profiling excluded, so replays
+	// stay byte-identical. Absent (and the report bytes unchanged)
+	// when the run was not observed.
+	Obs *obs.Snap `json:"obs,omitempty"`
 }
 
 // ArbiterReport summarizes the arbiter's lease ledger.
@@ -309,6 +350,10 @@ func (r *FleetReport) Summary() string {
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "  - %s\n", v)
 		}
+	}
+	if r.Obs != nil && len(r.Obs.Histograms) > 0 {
+		b.WriteString("obs:\n")
+		b.WriteString(r.Obs.Summary())
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/spot"
 )
@@ -42,6 +43,13 @@ type Report struct {
 	// double billing, a clock running backwards). Empty means the run
 	// is internally consistent.
 	Violations []string `json:"violations"`
+
+	// Obs is the deterministic (SimOnly) metrics-registry snapshot of
+	// an observed run: simulated-time histograms, counters and gauges,
+	// with the wall-clock self-profiling section excluded so replays
+	// stay byte-identical. Absent — and the report bytes unchanged —
+	// when the run was not observed.
+	Obs *obs.Snap `json:"obs,omitempty"`
 }
 
 // RecoveryStats aggregates preemption recovery latencies.
@@ -89,6 +97,10 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "  - %s\n", v)
 		}
 	}
+	if r.Obs != nil && len(r.Obs.Histograms) > 0 {
+		b.WriteString("obs:\n")
+		b.WriteString(r.Obs.Summary())
+	}
 	return b.String()
 }
 
@@ -108,15 +120,17 @@ func buildReport(c *Compiled, points []manager.TimelinePoint, stats manager.Stat
 	if c.Horizon > 0 {
 		r.DowntimeFrac = stats.Downtime.Seconds() / c.Horizon.Seconds()
 	}
-	r.Recovery = recoveryStats(c.Events, points)
+	r.Recovery = recoveryStats(c.Events, points, c.met)
 	r.Violations = append(r.Violations, checkInvariants(points, stats)...)
 	return r
 }
 
 // recoveryStats measures, for each preemption instant the trace
 // delivered, the latency until the manager's next decision point
-// (morph, replacement, hold, or declaring the fleet down).
-func recoveryStats(events []spot.Event, points []manager.TimelinePoint) RecoveryStats {
+// (morph, replacement, hold, or declaring the fleet down). Each
+// acknowledged latency is additionally observed into met (nil-safe)
+// as the "manager.recovery_us" histogram.
+func recoveryStats(events []spot.Event, points []manager.TimelinePoint, met *obs.Metrics) RecoveryStats {
 	decision := func(e string) bool {
 		return e == "morph" || e == "p" || e == "hold" || e == "down"
 	}
@@ -137,6 +151,7 @@ func recoveryStats(events []spot.Event, points []manager.TimelinePoint) Recovery
 			continue
 		}
 		lat := points[pi].At.Sub(ev.At).Seconds()
+		met.Observe("manager.recovery_us", float64(points[pi].At.Sub(ev.At)))
 		rs.Acknowledged++
 		sum += lat
 		if lat > rs.MaxSeconds {

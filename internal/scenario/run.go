@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/restart"
 )
@@ -53,6 +54,13 @@ func (c *Compiled) Run(stateDir string) (*Result, error) {
 			opts.Meter = meter
 		}
 	}
+	if c.trace != nil {
+		opts.Trace = c.trace
+		opts.TraceTrack = c.trace.Track("job:" + sc.Name)
+	}
+	if c.met != nil {
+		opts.Metrics = c.met
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
@@ -69,10 +77,24 @@ func (c *Compiled) Run(stateDir string) (*Result, error) {
 			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
 	}
+	if c.met != nil {
+		c.met.Gauge("planner.cost_hit_rate", planner.Stats().HitRate())
+		if opts.Prices != nil || opts.Meter != nil {
+			c.met.Gauge("dollars.total", stats.DollarsSpent)
+			c.met.Gauge("dollars.compute", stats.DollarsCompute)
+			c.met.Gauge("dollars.reconfig", stats.DollarsReconfig)
+			c.met.Gauge("dollars.idle", stats.DollarsIdle)
+		}
+	}
+	report := buildReport(c, points, stats)
+	if c.met != nil {
+		snap := c.met.Snapshot(obs.SimOnly)
+		report.Obs = &snap
+	}
 	return &Result{
 		Compiled: c,
 		Points:   points,
 		Stats:    stats,
-		Report:   buildReport(c, points, stats),
+		Report:   report,
 	}, nil
 }

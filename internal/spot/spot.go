@@ -385,6 +385,13 @@ type Event struct {
 	VM int
 	// GPUs is the VM's GPU count.
 	GPUs int
+	// Cause carries the obs.SpanID of the span that produced this
+	// event (a market reclaim, an arbiter lease or revocation), so the
+	// consumer's own spans can parent to it and the exported trace
+	// connects market tick → arbiter cascade → manager preemption
+	// causally. Zero (untraced) everywhere tracing is off; the field
+	// is deliberately a plain int64 so spot does not depend on obs.
+	Cause int64
 }
 
 // String formats the event.
