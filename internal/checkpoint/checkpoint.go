@@ -146,7 +146,7 @@ func (s *MemStore) PutLayer(step int, ls LayerState) error {
 func (s *MemStore) GetLayer(step, layer int) (LayerState, error) {
 	ls, ok := s.layers[step][layer]
 	if !ok {
-		return LayerState{}, fmt.Errorf("checkpoint: step %d layer %d not found", step, layer)
+		return LayerState{}, &ErrShardUnavailable{Step: step, Layer: layer}
 	}
 	return cloneLayer(ls), nil
 }
@@ -284,6 +284,9 @@ func writeLayer(f *os.File, ls LayerState) error {
 // GetLayer implements Store.
 func (s *FileStore) GetLayer(step, layer int) (LayerState, error) {
 	f, err := os.Open(s.layerPath(step, layer))
+	if os.IsNotExist(err) {
+		return LayerState{}, &ErrShardUnavailable{Step: step, Layer: layer}
+	}
 	if err != nil {
 		return LayerState{}, fmt.Errorf("checkpoint: %w", err)
 	}

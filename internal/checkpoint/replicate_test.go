@@ -1,0 +1,240 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func rlayer(idx int, vals ...float64) LayerState {
+	return LayerState{Layer: idx, Params: vals, M: vals, V: vals}
+}
+
+func TestErrShardUnavailableTyped(t *testing.T) {
+	s := NewMemStore()
+	_, err := s.GetLayer(3, 7)
+	var shard *ErrShardUnavailable
+	if !errors.As(err, &shard) {
+		t.Fatalf("MemStore miss = %T, want *ErrShardUnavailable", err)
+	}
+	if shard.Step != 3 || shard.Layer != 7 {
+		t.Fatalf("shard error carries step=%d layer=%d", shard.Step, shard.Layer)
+	}
+	if !IsShardUnavailable(err) {
+		t.Fatal("IsShardUnavailable must match")
+	}
+	if IsShardUnavailable(errors.New("io error")) {
+		t.Fatal("IsShardUnavailable must not match generic errors")
+	}
+}
+
+func TestFileStoreMissingShardTyped(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fs.GetLayer(1, 0)
+	if !IsShardUnavailable(err) {
+		t.Fatalf("FileStore miss = %v, want ErrShardUnavailable", err)
+	}
+}
+
+func TestFileStoreCorruptShardIsNotUnavailable(t *testing.T) {
+	// A truncated blob must surface as a generic (corrupt) error so
+	// failover does not silently fall through to a stale replica.
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.PutLayer(1, rlayer(0, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	path := fs.layerPath(1, 0)
+	if err := os.WriteFile(path, []byte{0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fs.GetLayer(1, 0)
+	if err == nil || IsShardUnavailable(err) {
+		t.Fatalf("corrupt shard error = %v, must be generic", err)
+	}
+}
+
+func TestFileStorePartialWriteRecovery(t *testing.T) {
+	// A crash mid-PutLayer leaves only a temp file; the named shard
+	// path must not exist and the store must still report the shard
+	// as unavailable, while a crash mid-manifest leaves the previous
+	// manifest intact.
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.PutLayer(1, rlayer(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.PutManifest(Manifest{Step: 1, Layers: []int{0}, NumLayers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write: an abandoned temp blob plus a torn
+	// manifest temp file.
+	if err := os.WriteFile(filepath.Join(dir, "layer-dead1"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fs.manifestPath()+".tmp", []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := fs.Latest()
+	if err != nil || !ok || m.Step != 1 {
+		t.Fatalf("Latest after torn write = (%v, %v, %v), want step 1", m, ok, err)
+	}
+	if _, err := fs.GetLayer(2, 0); !IsShardUnavailable(err) {
+		t.Fatalf("unflushed step must be unavailable, got %v", err)
+	}
+}
+
+func TestFileStoreMissingManifest(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latest on an empty dir is a clean fresh start, not an error.
+	if _, ok, err := fs.Latest(); ok || err != nil {
+		t.Fatalf("empty dir Latest = (ok=%v, err=%v), want fresh start", ok, err)
+	}
+	// Layers without a manifest still resume fresh.
+	if err := fs.PutLayer(1, rlayer(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	step, state, err := Resume(fs)
+	if err != nil || step != 0 || state != nil {
+		t.Fatalf("Resume without manifest = (%d, %v, %v), want fresh", step, state, err)
+	}
+}
+
+func TestPolicyPlace(t *testing.T) {
+	p := Policy{Replicas: 2, Spread: hw.DomainZone}
+	if !p.Enabled() {
+		t.Fatal("k=2 policy must be enabled")
+	}
+	if (Policy{}).Enabled() || (Policy{Replicas: 1}).Enabled() {
+		t.Fatal("k<=1 policies must be disabled")
+	}
+	domains := []int{0, 1, 2, 3}
+	places := p.Place(6, domains)
+	if len(places) != 6 {
+		t.Fatalf("placements = %d, want 6", len(places))
+	}
+	for i, repl := range places {
+		if len(repl) != 2 {
+			t.Fatalf("shard %d has %d replicas", i, len(repl))
+		}
+		if repl[0] == repl[1] {
+			t.Fatalf("shard %d replicas share domain %d (anti-affinity violated)", i, repl[0])
+		}
+	}
+	// Primaries rotate so load spreads.
+	if places[0][0] == places[1][0] {
+		t.Fatal("consecutive shards must rotate primary domains")
+	}
+	// k > domain count dedups to the domain count.
+	big := Policy{Replicas: 5}.Place(1, []int{0, 1})
+	if len(big[0]) != 2 {
+		t.Fatalf("over-replicated placement = %v, want 2 distinct domains", big[0])
+	}
+	if (Policy{Replicas: 2}).Place(0, domains) != nil || (Policy{Replicas: 2}).Place(3, nil) != nil {
+		t.Fatal("degenerate placements must be nil")
+	}
+}
+
+func TestReplicatedFallback(t *testing.T) {
+	a, b := NewMemStore(), NewMemStore()
+	r := NewReplicated(a, b)
+	ls := rlayer(0, 1, 2)
+	if err := r.PutLayer(1, ls); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutManifest(Manifest{Step: 1, Layers: []int{0}, NumLayers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill replica a (zone loss): reads fall through to b.
+	r.Stores[0] = NewMemStore()
+	got, err := r.GetLayer(1, 0)
+	if err != nil || !EqualState(got, ls) {
+		t.Fatalf("fallback read = (%v, %v)", got, err)
+	}
+	step, state, err := Resume(r)
+	if err != nil || step != 1 || !EqualState(state[0], ls) {
+		t.Fatalf("Resume over replicas = (%d, %v, %v)", step, state, err)
+	}
+	// Both replicas gone: typed unavailable.
+	r.Stores[1] = NewMemStore()
+	if _, err := r.GetLayer(1, 0); !IsShardUnavailable(err) {
+		t.Fatalf("all-missing read = %v, want ErrShardUnavailable", err)
+	}
+}
+
+func TestReplicatedLatestNewestWins(t *testing.T) {
+	a, b := NewMemStore(), NewMemStore()
+	for step := 1; step <= 2; step++ {
+		if err := a.PutLayer(step, rlayer(0, float64(step))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.PutManifest(Manifest{Step: 2, Layers: []int{0}, NumLayers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutLayer(1, rlayer(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutManifest(Manifest{Step: 1, Layers: []int{0}, NumLayers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicated(a, b)
+	m, ok, err := r.Latest()
+	if err != nil || !ok || m.Step != 2 {
+		t.Fatalf("Latest across replicas = (%v, %v, %v), want step 2", m, ok, err)
+	}
+	if r.BytesWritten() != a.BytesWritten()+b.BytesWritten() {
+		t.Fatal("BytesWritten must sum replicas")
+	}
+}
+
+func TestReplicaRoundTripEquality(t *testing.T) {
+	// Satellite: replica round-trip through FileStores preserves state
+	// bit-for-bit under EqualState.
+	fa, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicated(fa, fb)
+	want := map[int]LayerState{
+		0: rlayer(0, 1.5, -2.25, 3.125),
+		1: rlayer(1, 0.1, 0.2),
+	}
+	for _, ls := range want {
+		if err := r.PutLayer(4, ls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.PutManifest(Manifest{Step: 4, Layers: []int{0, 1}, NumLayers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, solo := range []Store{fa, fb} {
+		step, state, err := Resume(solo)
+		if err != nil || step != 4 {
+			t.Fatalf("replica resume = (%d, %v)", step, err)
+		}
+		for l, ls := range want {
+			if !EqualState(state[l], ls) {
+				t.Fatalf("replica layer %d state differs", l)
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ func All() []Entry {
 		{ID: "abl-straggler", Paper: "ablation (§4.6 fail-stutter)", Run: AblationStragglers},
 		{ID: "chaos-stress", Paper: "robustness (scenario DSL chaos soak)", Run: ChaosStress},
 		{ID: "multi-job", Paper: "robustness (fleet arbiter multi-tenant soak)", Run: MultiJob},
+		{ID: "zone-failover", Paper: "robustness (§4.5 failure-domain failover drill)", Run: ZoneFailover},
 		{ID: "trace-overhead", Paper: "observability (span tracing cost gate)", Run: TraceOverhead},
 	}
 }

@@ -70,6 +70,8 @@ type arbiter struct {
 
 	scripted  []ScriptedPreempt
 	scrIdx    int
+	outages   []ScriptedOutage
+	outIdx    int
 	victimRng *simtime.Rand
 
 	// nextTick is the next scheduled probe instant; hasNext is false
@@ -106,6 +108,8 @@ func newArbiter(mk *spot.Market, jobs []*Job, opts Options) *arbiter {
 	}
 	a.scripted = append(a.scripted, opts.Preempts...)
 	sort.SliceStable(a.scripted, func(i, j int) bool { return a.scripted[i].At < a.scripted[j].At })
+	a.outages = append(a.outages, opts.Outages...)
+	sort.SliceStable(a.outages, func(i, j int) bool { return a.outages[i].At < a.outages[j].At })
 	if opts.Prices != nil {
 		a.meanRate = opts.Prices.Mean(0, a.hz)
 	}
@@ -240,6 +244,15 @@ func (a *arbiter) tick(int32, int32) {
 		a.curTick = a.tr.Instant(a.trkArb, 0, t, "arbiter", "tick")
 	}
 
+	// Scripted zone outages due now empty their zone before anything
+	// else: a whole failure domain vanishing is the largest provider
+	// event, and each kill feeds capacity back into the market.
+	for a.outIdx < len(a.outages) && a.outages[a.outIdx].At <= t {
+		o := a.outages[a.outIdx]
+		a.outIdx++
+		a.zoneOutage(t, o.Zone)
+	}
+
 	// Scripted reclaims due now feed back into the market before its
 	// own dynamics advance.
 	for a.scrIdx < len(a.scripted) && a.scripted[a.scrIdx].At <= t {
@@ -305,6 +318,28 @@ func (a *arbiter) tick(int32, int32) {
 	}
 	if a.met.Enabled() {
 		a.met.Observe("wall.arbiter.tick_us", float64(time.Since(wall).Microseconds()))
+	}
+}
+
+// zoneOutage reclaims every live pool VM in one availability zone —
+// the correlated mass-preemption. One "outage" span on the market
+// track parents every per-VM reclaim, so the trace walks outage →
+// reclaim → (job preemption handling) end to end.
+func (a *arbiter) zoneOutage(t simtime.Time, zone int) {
+	a.audit.ZoneOutages++
+	var ospan obs.SpanID
+	if a.tr.Enabled() {
+		ospan = a.tr.Instant(a.trkMkt, a.curTick, t, "market", "outage")
+		a.tr.SetArgs(ospan, obs.I64("zone", int64(zone)))
+	}
+	for _, vm := range a.pool.LiveInDomain(a.opts.Zones, zone) {
+		a.pool.Kill(vm)
+		var cause obs.SpanID
+		if a.tr.Enabled() {
+			cause = a.tr.Instant(a.trkMkt, ospan, t, "market", "outage-reclaim")
+			a.tr.SetArgs(cause, obs.I64("vm", int64(vm)), obs.I64("zone", int64(zone)))
+		}
+		a.poolPreempt(spot.Event{At: t, Kind: spot.Preempt, VM: vm, GPUs: a.pool.Market().GPUsPerVM}, true, cause)
 	}
 }
 
@@ -412,6 +447,9 @@ func (a *arbiter) leaseTo(t simtime.Time, j *jobState, vm, gpus int, parent obs.
 		a.tr.SetArgs(ls,
 			obs.I64("vm", int64(vm)), obs.I64("gpus", int64(gpus)),
 			obs.Str("job", j.cfg.Name))
+		if a.opts.Zones > 1 {
+			a.tr.SetArgs(ls, obs.I64("zone", int64(vm%a.opts.Zones)))
+		}
 		ev.Cause = int64(ls)
 	}
 	j.feed.push(ev)

@@ -42,6 +42,9 @@ type Audit struct {
 	// previously released — released capacity returning to
 	// circulation, the one-way door swinging both ways.
 	ReLeases int
+	// ZoneOutages counts scripted zone outages applied (each reclaims
+	// every live VM in its zone).
+	ZoneOutages int
 	// Cascades lists every revocation cascade.
 	Cascades []Cascade
 	// Violations lists invariant breaches in occurrence order; a clean

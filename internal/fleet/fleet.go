@@ -68,6 +68,14 @@ type ScriptedPreempt struct {
 	Count int
 }
 
+// ScriptedOutage reclaims every live pool VM in one availability zone
+// at At — the correlated mass-preemption lever. Zones must be set on
+// Options; VM ids map to zones round-robin (id % Zones).
+type ScriptedOutage struct {
+	At   simtime.Time
+	Zone int
+}
+
 // Options tunes a fleet run.
 type Options struct {
 	// Horizon is the run length.
@@ -80,6 +88,12 @@ type Options struct {
 	Prices *price.Curve
 	// Preempts is the scripted reclaim schedule, in any order.
 	Preempts []ScriptedPreempt
+	// Zones spreads the pool's VMs round-robin over availability zones
+	// (vm id % Zones); 0 keeps the pool flat. Required for Outages.
+	Zones int
+	// Outages is the scripted zone-outage schedule, in any order: each
+	// entry reclaims every live VM in its zone at its instant.
+	Outages []ScriptedOutage
 	// VictimSeed seeds the scripted reclaims' victim draws.
 	VictimSeed int64
 	// Trace, when non-nil, records the run's causal spans: market
@@ -145,7 +159,18 @@ func Run(mk *spot.Market, jobs []*Job, opts Options) (*Result, error) {
 		}
 	}
 
-	if len(jobs) == 1 && len(opts.Preempts) == 0 {
+	if opts.Zones < 0 || opts.Zones == 1 {
+		return nil, fmt.Errorf("fleet: Options.Zones must be 0 (flat) or >= 2, got %d", opts.Zones)
+	}
+	for _, o := range opts.Outages {
+		if opts.Zones < 2 {
+			return nil, fmt.Errorf("fleet: Options.Outages needs Options.Zones >= 2")
+		}
+		if o.Zone < 0 || o.Zone >= opts.Zones {
+			return nil, fmt.Errorf("fleet: outage zone %d outside [0, %d)", o.Zone, opts.Zones)
+		}
+	}
+	if len(jobs) == 1 && len(opts.Preempts) == 0 && len(opts.Outages) == 0 {
 		return runSingle(mk, jobs[0], opts)
 	}
 	return newArbiter(mk, jobs, opts).run()

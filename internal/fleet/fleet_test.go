@@ -216,6 +216,74 @@ func TestSingleJobCollapse(t *testing.T) {
 	}
 }
 
+// TestZoneOutageEmptiesZone drives a single-tenant fleet through a
+// scripted zone outage and checks the correlated semantics: at the
+// outage instant every held VM in the zone is preempted, the audit
+// counts the outage, and the run replays bit-identically.
+func TestZoneOutageEmptiesZone(t *testing.T) {
+	const zones, zone = 4, 2
+	at := simtime.Time(6 * simtime.Hour)
+	run := func() *Result {
+		job, err := core.NewJob(model.GPT2XL2B(), hw.SpotCluster(hw.NC6v3, 48), 8192, 54)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg := manager.NewWithPlanner(job.Inputs(), job.Testbed(), job.Planner(), manager.DefaultOptions(), 56)
+		res, err := Run(spot.NewMarket(1, 60, 55), []*Job{{Name: "solo", Mgr: mg, TargetGPUs: 48}},
+			Options{
+				Horizon: 12 * simtime.Hour, Probe: 10 * simtime.Minute,
+				Zones:   zones,
+				Outages: []ScriptedOutage{{At: at, Zone: zone}},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Audit.ZoneOutages != 1 {
+		t.Fatalf("audit.ZoneOutages = %d, want 1", res.Audit.ZoneOutages)
+	}
+	if len(res.Audit.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Audit.Violations)
+	}
+	// Replay the job's event stream: every in-zone VM held when the
+	// outage fires must be preempted at exactly that instant.
+	held := map[int]bool{}
+	preempted := map[int]bool{}
+	for _, ev := range res.Jobs[0].Events {
+		if ev.At < at {
+			switch ev.Kind {
+			case spot.Alloc:
+				held[ev.VM] = true
+			case spot.Preempt:
+				delete(held, ev.VM)
+			}
+			continue
+		}
+		if ev.At == at && ev.Kind == spot.Preempt {
+			preempted[ev.VM] = true
+		}
+	}
+	inZone := 0
+	for vm := range held {
+		if vm%zones != zone {
+			continue
+		}
+		inZone++
+		if !preempted[vm] {
+			t.Fatalf("vm%d (zone %d) held at outage but not preempted", vm, zone)
+		}
+	}
+	if inZone == 0 {
+		t.Fatal("outage hit an empty zone; test needs live in-zone VMs")
+	}
+	res2 := run()
+	if !reflect.DeepEqual(res.Jobs, res2.Jobs) {
+		t.Fatal("zone-outage run diverged across replays")
+	}
+}
+
 // TestFleetValidation covers the config error paths.
 func TestFleetValidation(t *testing.T) {
 	mk := spot.NewMarket(1, 60, 1)
@@ -237,5 +305,16 @@ func TestFleetValidation(t *testing.T) {
 	}
 	if _, err := Run(mk, []*Job{{Name: "b", TargetGPUs: 4, MinGPUs: 8}}, Options{Horizon: simtime.Hour}); err == nil {
 		t.Fatal("min above target must error")
+	}
+	if _, err := Run(mk, []*Job{j}, Options{Horizon: simtime.Hour, Zones: 1}); err == nil {
+		t.Fatal("zones=1 must error")
+	}
+	if _, err := Run(mk, []*Job{j}, Options{Horizon: simtime.Hour,
+		Outages: []ScriptedOutage{{At: 0, Zone: 0}}}); err == nil {
+		t.Fatal("outages without zones must error")
+	}
+	if _, err := Run(mk, []*Job{j}, Options{Horizon: simtime.Hour, Zones: 4,
+		Outages: []ScriptedOutage{{At: 0, Zone: 7}}}); err == nil {
+		t.Fatal("out-of-range outage zone must error")
 	}
 }

@@ -37,6 +37,7 @@ const (
 	LinkPCIe                     // intra-node PCIe between GPUs
 	LinkInfiniband
 	LinkNVLink
+	LinkWAN // metro or long-haul fiber between zones/regions
 )
 
 // String names the link kind.
@@ -50,6 +51,8 @@ func (k LinkKind) String() string {
 		return "infiniband"
 	case LinkNVLink:
 		return "nvlink"
+	case LinkWAN:
+		return "wan"
 	default:
 		return fmt.Sprintf("LinkKind(%d)", int(k))
 	}
@@ -106,6 +109,9 @@ type Cluster struct {
 	Inter Link
 	// LowPriority marks spot capacity subject to preemption.
 	LowPriority bool
+	// Topo arranges the nodes into failure domains; the zero value
+	// keeps the flat single-pool model.
+	Topo Topology
 }
 
 // NumGPUs reports the total GPU count.
@@ -115,12 +121,32 @@ func (c Cluster) NumGPUs() int { return c.Nodes * c.VM.GPUs }
 func (c Cluster) GPUHourCost() float64 { return c.VM.HourCost / float64(c.VM.GPUs) }
 
 // LinkBetween reports the link joining two GPU ranks under the
-// cluster's node packing (rank / VM.GPUs identifies the node).
+// cluster's node packing (rank / VM.GPUs identifies the node). Out of
+// range ranks are conservatively charged the outermost defined link:
+// integer division truncates toward zero, so without the guard a rank
+// of -1 would land on node 0 and be billed as intra-node traffic.
 func (c Cluster) LinkBetween(rankA, rankB int) Link {
-	if rankA/c.VM.GPUs == rankB/c.VM.GPUs {
+	if rankA < 0 || rankB < 0 || rankA >= c.NumGPUs() || rankB >= c.NumGPUs() {
+		return c.CrossLink(DomainRegion)
+	}
+	nodeA, nodeB := rankA/c.VM.GPUs, rankB/c.VM.GPUs
+	if nodeA == nodeB {
 		return c.VM.Intra
 	}
-	return c.Inter
+	t := c.Topo
+	if !t.Defined() {
+		return c.Inter
+	}
+	if t.domainOfNode(nodeA, DomainRack) == t.domainOfNode(nodeB, DomainRack) {
+		return c.Inter
+	}
+	if t.domainOfNode(nodeA, DomainZone) == t.domainOfNode(nodeB, DomainZone) {
+		return c.CrossLink(DomainRack)
+	}
+	if t.domainOfNode(nodeA, DomainRegion) == t.domainOfNode(nodeB, DomainRegion) {
+		return c.CrossLink(DomainZone)
+	}
+	return c.CrossLink(DomainRegion)
 }
 
 // SpotCluster builds the paper's commodity setting: nGPUs spread over

@@ -58,6 +58,116 @@ func TestLinkBetween(t *testing.T) {
 	}
 }
 
+func TestLinkBetweenOutOfRange(t *testing.T) {
+	// Out-of-range ranks must never be billed as intra-node traffic:
+	// -1/4 == 0 under Go's truncating division, so before the guard a
+	// negative rank aliased onto node 0.
+	c := SpotCluster(NC24v3, 16)
+	cases := [][2]int{{-1, 0}, {0, -1}, {-4, -4}, {16, 0}, {0, 16}, {100, 100}}
+	for _, tc := range cases {
+		if got := c.LinkBetween(tc[0], tc[1]); got != c.Inter {
+			t.Fatalf("LinkBetween(%d,%d) = %v, want outermost (Inter) for flat cluster", tc[0], tc[1], got.Kind)
+		}
+	}
+	// With a topology the outermost defined link is charged instead.
+	tc := c
+	tc.Topo = SpotTopology(4, 2, 2)
+	if got := tc.LinkBetween(-1, 0); got.Kind != LinkWAN {
+		t.Fatalf("topo out-of-range link = %v, want wan", got.Kind)
+	}
+}
+
+func TestLinkBetweenTopology(t *testing.T) {
+	// 4 zones x 2 racks x 2 nodes x 4 GPUs = 64 GPUs. Static packing:
+	// node = rank/4, rack = node/2, zone = rack/2.
+	c := SpotCluster(NC24v3, 64)
+	c.Topo = SpotTopology(4, 2, 2)
+	tests := []struct {
+		name string
+		a, b int
+		kind LinkKind
+	}{
+		{"same node", 0, 3, LinkPCIe},
+		{"same rack, different node", 0, 4, LinkEthernet},
+		{"same zone, different rack", 0, 8, LinkEthernet}, // CrossRack = Ethernet10G
+		{"different zone", 0, 16, LinkWAN},                // CrossZone = ZoneWAN
+		{"far zones", 0, 48, LinkWAN},
+	}
+	for _, tt := range tests {
+		if got := c.LinkBetween(tt.a, tt.b); got.Kind != tt.kind {
+			t.Fatalf("%s: LinkBetween(%d,%d) = %v, want %v", tt.name, tt.a, tt.b, got.Kind, tt.kind)
+		}
+	}
+	// Symmetry across every pair class.
+	for _, tt := range tests {
+		ab, ba := c.LinkBetween(tt.a, tt.b), c.LinkBetween(tt.b, tt.a)
+		if ab != ba {
+			t.Fatalf("%s: asymmetric link %v vs %v", tt.name, ab.Kind, ba.Kind)
+		}
+	}
+	// Flat clusters are untouched by the rewrite.
+	flat := SpotCluster(NC24v3, 64)
+	if flat.LinkBetween(0, 3).Kind != LinkPCIe || flat.LinkBetween(0, 60).Kind != LinkEthernet {
+		t.Fatal("flat cluster link classes changed")
+	}
+}
+
+func TestDomainMappings(t *testing.T) {
+	topo := SpotTopology(4, 2, 2)
+	// Rank packing: 16 GPUs per zone (2 racks x 2 nodes x 4 GPUs).
+	c := SpotCluster(NC24v3, 64)
+	c.Topo = topo
+	if z := c.DomainOfRank(0, DomainZone); z != 0 {
+		t.Fatalf("rank 0 zone = %d", z)
+	}
+	if z := c.DomainOfRank(16, DomainZone); z != 1 {
+		t.Fatalf("rank 16 zone = %d", z)
+	}
+	if z := c.DomainOfRank(63, DomainZone); z != 3 {
+		t.Fatalf("rank 63 zone = %d", z)
+	}
+	if c.DomainOfRank(-1, DomainZone) != -1 {
+		t.Fatal("negative rank must map to no domain")
+	}
+	// VM-id mapping is round-robin so zone spread is stationary under
+	// churn, and the rack mapping refines the zone mapping.
+	for id := 0; id < 32; id++ {
+		if topo.DomainOfVM(id, DomainZone) != id%4 {
+			t.Fatalf("vm %d zone mapping not round-robin", id)
+		}
+		if topo.DomainOfVM(id, DomainRack)%4 != topo.DomainOfVM(id, DomainZone) {
+			t.Fatalf("vm %d rack mapping inconsistent with zone", id)
+		}
+	}
+	if n := topo.NumDomains(DomainZone); n != 4 {
+		t.Fatalf("NumDomains(zone) = %d", n)
+	}
+	if n := topo.NumDomains(DomainRack); n != 8 {
+		t.Fatalf("NumDomains(rack) = %d", n)
+	}
+	// Undefined topologies report no domains and map everything to 0.
+	var flat Topology
+	if flat.Defined() || flat.NumDomains(DomainZone) != 0 || flat.DomainOfVM(7, DomainZone) != 0 {
+		t.Fatal("flat topology must be inert")
+	}
+}
+
+func TestCrossLinkFallback(t *testing.T) {
+	c := SpotCluster(NC24v3, 64)
+	// Topology with only zones defined: cross-rack and cross-region
+	// fall back inward.
+	c.Topo = Topology{Zones: 2, CrossZone: ZoneWAN}
+	if got := c.CrossLink(DomainRack); got != c.Inter {
+		t.Fatalf("undefined cross-rack must fall back to Inter, got %v", got.Kind)
+	}
+	if got := c.CrossLink(DomainZone); got != ZoneWAN {
+		t.Fatalf("cross-zone = %v, want wan", got.Kind)
+	}
+	if got := c.CrossLink(DomainRegion); got != ZoneWAN {
+		t.Fatalf("undefined cross-region must fall back to cross-zone, got %v", got.Kind)
+	}
+}
+
 func TestCostRatio(t *testing.T) {
 	// Low-pri per-GPU-hour should be ~5x cheaper than the dedicated
 	// hypercluster per-GPU-hour.

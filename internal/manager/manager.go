@@ -12,6 +12,8 @@ import (
 	"sort"
 
 	"repro/internal/autoconfig"
+	"repro/internal/checkpoint"
+	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/price"
 	"repro/internal/restart"
@@ -115,6 +117,15 @@ type Options struct {
 	// simulated morph-downtime histograms and (via the Planner
 	// observer) wall-clock sweep self-profiling.
 	Metrics *obs.Metrics
+	// Replication is the checkpoint replication policy (§4.5 extended
+	// across failure domains): shards are pushed to Replicas domains
+	// spread at the policy's anti-affinity level, each checkpoint pays
+	// the cross-domain push priced by restart.Model.ReplicationOverhead,
+	// and a domain outage that would otherwise discard all progress
+	// fails over to the surviving replicas instead. The zero value —
+	// and any cluster without a defined topology — keeps the historical
+	// single-copy behavior bit-identically.
+	Replication checkpoint.Policy
 	// MeasureStragglers wires the held fleet's unflagged slow VMs into
 	// every segment measurement as testbed.JobConfig.ExtraSlow, so a
 	// degrading VM shows up in the *measured* mini-batch time — not
@@ -239,6 +250,16 @@ type Stats struct {
 	// to the market (idle remainders, flagged stragglers, and
 	// marginal replicas shed during price spikes).
 	VMsReleased int
+	// Failovers counts domain outages survived by restarting from
+	// replicated checkpoint shards in other failure domains;
+	// FailoverDowntime is the cross-domain fetch time those restarts
+	// cost (included in Downtime). UnrecoverableOutages counts domain
+	// outages that destroyed the only copies of checkpoint state and
+	// discarded all progress. All three stay zero — and absent from
+	// report JSON — on flat clusters.
+	Failovers            int              `json:",omitempty"`
+	UnrecoverableOutages int              `json:",omitempty"`
+	FailoverDowntime     simtime.Duration `json:",omitempty"`
 }
 
 // DollarsPerExample is the run's realized training cost: this run's
@@ -297,6 +318,12 @@ type Manager struct {
 	// Non-throughput objectives require a price curve, like
 	// Options.Objective.
 	ObjChange []ObjectiveChange
+	// Outages schedules correlated domain losses (zone-outage,
+	// rack-outage): the scenario compiler pairs each entry with the
+	// Preempt events that empty the domain, and the manager settles
+	// whether the checkpoint survived (see DomainOutage). Requires a
+	// cluster with a defined topology to have any effect.
+	Outages []DomainOutage
 
 	rng *simtime.Rand
 	// hbRng draws the measurement noise of *periodic* heartbeat
@@ -352,6 +379,7 @@ func NewWithPlanner(in autoconfig.Inputs, tb *testbed.Testbed, plan *autoconfig.
 	// parallel reconstruction of its contention rule: if the testbed's
 	// network model is ever tuned, the restart price moves with it.
 	rm.Fabric = tb.Fabric
+	rm.Replication = opts.Replication
 	return &Manager{
 		In: in, TB: tb, Opts: opts, Plan: plan,
 		RM:    rm,
@@ -444,6 +472,14 @@ type timelineRun struct {
 	objIdx     int
 	obj        autoconfig.Objective
 	lastSlowFP string
+	// outs is the sorted domain-outage schedule; outIdx the next entry
+	// to settle. ckptDoms records which failure domains held shards of
+	// the last durable checkpoint (nil until one exists, and again
+	// after an unrecoverable loss); only maintained on topology-defined
+	// clusters.
+	outs     []DomainOutage
+	outIdx   int
+	ckptDoms map[hw.DomainLevel]map[int]bool
 
 	// tr/trk/met mirror Options.Trace/TraceTrack/Metrics (nil-safe).
 	// segSpan is the open training-segment span; cause is the latest
@@ -952,6 +988,7 @@ func (r *timelineRun) morph(label string, forced bool) {
 		// constant's bundled overhead always included): the new segment
 		// resumes from this mini-batch boundary, not the old cadence.
 		r.sinceCkpt = 0
+		r.recordCheckpointDomains()
 	}
 	if r.running && choice.P == r.current.P && choice.D == r.current.D {
 		label = "p" // replacement, no config change (Figure 8)
@@ -1078,6 +1115,7 @@ func (r *timelineRun) step(int32, int32) {
 		r.stats.MiniBatches -= r.sinceCkpt
 		r.sinceCkpt = 0
 	}
+	r.applyOutagesDue()
 	if !fleetChanged && !netChanged && !objChanged && !r.running && r.feed.Driven() {
 		// An eventless wake while the job is down: driven feeds wake
 		// the loop every arbiter tick, so without a fleet or schedule
@@ -1121,11 +1159,16 @@ func (r *timelineRun) step(int32, int32) {
 		r.sinceCkpt++
 		if r.sinceCkpt >= r.mg.Opts.CheckpointEvery {
 			r.chargeTraining(r.now)
-			r.now = r.now.Add(r.mg.Opts.CheckpointOverhead)
+			// A replicated checkpoint also pays the cross-domain shard
+			// push (zero with replication off or on flat clusters).
+			stall := r.mg.Opts.CheckpointOverhead +
+				r.mg.RM.ReplicationOverhead(restart.Assignment{Stages: r.current.Stages, D: r.current.D})
+			r.now = r.now.Add(stall)
 			r.chargeDowntime(r.now)
-			r.stats.Downtime += r.mg.Opts.CheckpointOverhead
+			r.stats.Downtime += stall
 			r.stats.Checkpoints++
 			r.sinceCkpt = 0
+			r.recordCheckpointDomains()
 			r.emit(r.segSpan, TimelinePoint{
 				At: r.now, GPUs: r.usableGPUs(), Config: r.current,
 				ExPerSec:     float64(r.current.Examples) / r.mbTime.Seconds(),
@@ -1300,6 +1343,7 @@ func (mg *Manager) StartOn(q *simtime.EventQueue, feed Feed, horizon simtime.Dur
 		r.objs = append(r.objs, mg.ObjChange...)
 		sort.SliceStable(r.objs, func(i, j int) bool { return r.objs[i].At < r.objs[j].At })
 	}
+	r.outs = sortOutages(mg.Outages)
 	r.nextHB = simtime.Time(mg.Opts.HeartbeatEvery)
 	r.onStep = r.step
 	r.reschedule()

@@ -1,0 +1,155 @@
+package manager
+
+import (
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/restart"
+	"repro/internal/simtime"
+)
+
+// DomainOutage schedules a correlated mass preemption scoped to one
+// failure domain: at At, every VM mapped to Domain at Level is gone.
+// The scenario compiler pairs each outage with the per-VM Preempt
+// events that empty the domain; the manager's job here is the
+// checkpoint-survivability accounting — whether the §4.5 shards still
+// exist somewhere after the domain vanished, and what resuming from
+// the surviving replicas costs.
+type DomainOutage struct {
+	At     simtime.Time
+	Level  hw.DomainLevel
+	Domain int
+}
+
+// recordCheckpointDomains snapshots which failure domains hold the
+// checkpoint just written: the live VMs' domains at each tracked
+// level. With replication on, Policy.Place spreads every shard over
+// min(Replicas, |domains|) of these; with it off, each shard lives
+// only in its writer's domain. No-op on flat clusters.
+func (r *timelineRun) recordCheckpointDomains() {
+	topo := r.mg.RM.Cluster.Topo
+	if !topo.Defined() {
+		return
+	}
+	doms := map[hw.DomainLevel]map[int]bool{
+		hw.DomainRack: make(map[int]bool),
+		hw.DomainZone: make(map[int]bool),
+	}
+	for id := range r.live {
+		doms[hw.DomainRack][topo.DomainOfVM(id, hw.DomainRack)] = true
+		doms[hw.DomainZone][topo.DomainOfVM(id, hw.DomainZone)] = true
+	}
+	r.ckptDoms = doms
+}
+
+// applyOutagesDue settles the checkpoint-survivability of every domain
+// outage due by now. Three outcomes:
+//
+//   - vacuous: no checkpoint exists (ckptDoms == nil) or the lost
+//     domain held no shards — the preemption rollback already
+//     accounted every loss there is.
+//   - failover: the replication policy spread shards at or above the
+//     outage level across ≥ 2 domains, so every shard survives in
+//     some other domain. The job pays the restart-model-priced
+//     cross-domain fetch (restart.Model.Failover) as downtime and
+//     keeps its progress.
+//   - unrecoverable: shards lived only in the lost domain. All
+//     progress is discarded — the quantified cost of running without
+//     replication that the zone-failover drill reports.
+func (r *timelineRun) applyOutagesDue() {
+	for r.outIdx < len(r.outs) && r.outs[r.outIdx].At <= r.now {
+		o := r.outs[r.outIdx]
+		r.outIdx++
+		var ospan obs.SpanID
+		if r.tr.Enabled() {
+			ospan = r.tr.Instant(r.trk, r.cause, r.now, "fleet", "outage")
+			r.tr.SetArgs(ospan,
+				obs.Str("level", o.Level.String()),
+				obs.I64("domain", int64(o.Domain)))
+			r.cause = ospan
+		}
+		doms := r.ckptDoms[o.Level]
+		if r.ckptDoms == nil || !doms[o.Domain] {
+			continue // vacuous: nothing durable was in the lost domain
+		}
+		p := r.mg.Opts.Replication
+		spreadDoms := r.ckptDoms[p.Spread]
+		if p.Enabled() && p.Spread >= o.Level && len(spreadDoms) >= 2 {
+			r.failover(o, ospan)
+			continue
+		}
+		// Unrecoverable: the only copies of some shards died with the
+		// domain. The job keeps running on survivors but from scratch.
+		r.stats.LostMiniBatches += r.stats.MiniBatches
+		r.stats.Examples = 0
+		r.stats.MiniBatches = 0
+		r.stats.UnrecoverableOutages++
+		r.ckptDoms = nil
+		if r.tr.Enabled() {
+			id := r.tr.Instant(r.trk, ospan, r.now, "manager", "outage-loss")
+			r.tr.SetArgs(id, obs.I64("lost_minibatches", int64(r.stats.LostMiniBatches)))
+		}
+		r.emit(ospan, TimelinePoint{
+			At: r.now, GPUs: r.usableGPUs(), Event: "outage-loss",
+			DollarsSpent: r.dollars(),
+		})
+	}
+}
+
+// failover restarts the job from the surviving replicated shards: the
+// lost domain's copies are struck from the placement record and the
+// cross-domain full-state fetch is charged as downtime at the restart
+// model's price.
+func (r *timelineRun) failover(o DomainOutage, ospan obs.SpanID) {
+	delete(r.ckptDoms[o.Level], o.Domain)
+	if o.Level == hw.DomainZone {
+		// Zone loss takes its racks too (rack ids refine zone ids:
+		// rack % zones == zone under the round-robin VM mapping).
+		topo := r.mg.RM.Cluster.Topo
+		for rack := range r.ckptDoms[hw.DomainRack] {
+			if topo.Zones > 0 && rack%topo.Zones == o.Domain {
+				delete(r.ckptDoms[hw.DomainRack], rack)
+			}
+		}
+	}
+	r.stats.Failovers++
+	var down simtime.Duration
+	if r.running {
+		costs := r.mg.RM.Failover(restart.Assignment{Stages: r.current.Stages, D: r.current.D})
+		down = costs.Total()
+		if down > 0 {
+			var fspan obs.SpanID
+			if r.tr.Enabled() {
+				fspan = r.tr.Begin(r.trk, ospan, r.now, "manager", "failover")
+				r.tr.SetArgs(fspan,
+					obs.Str("level", o.Level.String()),
+					obs.I64("domain", int64(o.Domain)))
+				restart.TracePhases(r.tr, r.trk, fspan, r.now, costs)
+			}
+			r.chargeDowntime(r.now.Add(down))
+			r.stats.Downtime += down
+			r.stats.FailoverDowntime += down
+			r.met.Observe("manager.failover_downtime_us", float64(down))
+			r.now = r.now.Add(down)
+			if r.tr.Enabled() {
+				r.tr.End(fspan, r.now)
+				r.cause = fspan
+			}
+		}
+	}
+	r.emit(ospan, TimelinePoint{
+		At: r.now, GPUs: r.usableGPUs(), Event: "failover", Downtime: down,
+		DollarsSpent: r.dollars(),
+	})
+}
+
+// sortOutages orders the outage schedule for the run.
+func sortOutages(outs []DomainOutage) []DomainOutage {
+	if len(outs) == 0 {
+		return nil
+	}
+	s := append([]DomainOutage(nil), outs...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return s
+}

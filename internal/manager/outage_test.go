@@ -1,0 +1,162 @@
+package manager
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/autoconfig"
+	"repro/internal/calibrate"
+	"repro/internal/checkpoint"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/spot"
+	"repro/internal/testbed"
+)
+
+// managerZoned builds a manager on a 4-zone topology cluster.
+func managerZoned(t *testing.T, repl checkpoint.Policy) *Manager {
+	t.Helper()
+	cluster := hw.SpotCluster(hw.NC6v3, 80)
+	cluster.Topo = hw.SpotTopology(4, 2, 5)
+	tb := testbed.New(cluster, 31)
+	spec := model.GPT2XL2B()
+	params, err := calibrate.Run(spec, tb, calibrate.Options{
+		MicroSizes:  []int{4, 8},
+		GPUsPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := model.FindCutPoints(spec, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := autoconfig.Inputs{
+		Spec:        spec,
+		Cuts:        cuts,
+		Params:      params,
+		GPUMem:      16 << 30,
+		MTotal:      8192,
+		GPUsPerNode: 1,
+	}
+	opts := DefaultOptions()
+	opts.Replication = repl
+	return New(in, tb, opts, 77)
+}
+
+// zoneOutageTrace allocates n 1-GPU VMs at t=0 and kills every VM in
+// the zone (id % 4 == zone) at the given instant, mirroring what the
+// scenario compiler emits for a zone-outage event.
+func zoneOutageTrace(n, zone int, at simtime.Time) ([]spot.Event, []DomainOutage) {
+	var events []spot.Event
+	for i := 0; i < n; i++ {
+		events = append(events, spot.Event{At: 0, Kind: spot.Alloc, VM: i, GPUs: 1})
+	}
+	for i := zone; i < n; i += 4 {
+		events = append(events, spot.Event{At: at, Kind: spot.Preempt, VM: i, GPUs: 1})
+	}
+	return events, []DomainOutage{{At: at, Level: hw.DomainZone, Domain: zone}}
+}
+
+func TestZoneOutageFailsOverWithReplication(t *testing.T) {
+	mg := managerZoned(t, checkpoint.Policy{Replicas: 2, Spread: hw.DomainZone})
+	at := simtime.Time(4 * simtime.Hour)
+	events, outs := zoneOutageTrace(64, 1, at)
+	mg.Outages = outs
+	points, stats, err := mg.RunTimeline(events, 8*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failovers != 1 || stats.UnrecoverableOutages != 0 {
+		t.Fatalf("failovers=%d unrecoverable=%d, want 1/0", stats.Failovers, stats.UnrecoverableOutages)
+	}
+	if stats.FailoverDowntime <= 0 {
+		t.Fatal("failover must cost cross-zone fetch downtime")
+	}
+	// Progress survives: only the uncheckpointed tail rolls back, never
+	// the whole run.
+	if stats.LostMiniBatches >= mg.Opts.CheckpointEvery {
+		t.Fatalf("lost %d mini-batches, want < CheckpointEvery (%d)", stats.LostMiniBatches, mg.Opts.CheckpointEvery)
+	}
+	if stats.Examples <= 0 || stats.MiniBatches <= 0 {
+		t.Fatal("job must keep its progress across the failover")
+	}
+	foundFailover := false
+	for _, p := range points {
+		if p.Event == "failover" {
+			foundFailover = true
+		}
+		if p.Event == "outage-loss" {
+			t.Fatal("replicated run must not report outage-loss")
+		}
+	}
+	if !foundFailover {
+		t.Fatal("timeline must record the failover point")
+	}
+}
+
+func TestZoneOutageDiscardsProgressWithoutReplication(t *testing.T) {
+	mg := managerZoned(t, checkpoint.Policy{})
+	at := simtime.Time(4 * simtime.Hour)
+	events, outs := zoneOutageTrace(64, 1, at)
+	mg.Outages = outs
+	points, stats, err := mg.RunTimeline(events, 8*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UnrecoverableOutages != 1 || stats.Failovers != 0 {
+		t.Fatalf("unrecoverable=%d failovers=%d, want 1/0", stats.UnrecoverableOutages, stats.Failovers)
+	}
+	// Hours of checkpointed work die with the zone.
+	if stats.LostMiniBatches < mg.Opts.CheckpointEvery {
+		t.Fatalf("lost %d mini-batches, want at least one checkpoint interval", stats.LostMiniBatches)
+	}
+	foundLoss := false
+	for _, p := range points {
+		if p.Event == "outage-loss" {
+			foundLoss = true
+		}
+	}
+	if !foundLoss {
+		t.Fatal("timeline must record the outage-loss point")
+	}
+}
+
+func TestOutageVacuousOnFlatCluster(t *testing.T) {
+	// Without a topology there are no failure domains: the schedule is
+	// inert and the run matches a plain preemption trace.
+	mg := managerFor(t)
+	at := simtime.Time(4 * simtime.Hour)
+	events, outs := zoneOutageTrace(64, 1, at)
+	mg.Outages = outs
+	_, stats, err := mg.RunTimeline(events, 8*simtime.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failovers != 0 || stats.UnrecoverableOutages != 0 || stats.FailoverDowntime != 0 {
+		t.Fatalf("flat cluster outage stats must stay zero: %+v", stats)
+	}
+}
+
+func TestOutageTimelineDeterministic(t *testing.T) {
+	run := func() ([]TimelinePoint, Stats) {
+		mg := managerZoned(t, checkpoint.Policy{Replicas: 2, Spread: hw.DomainZone})
+		at := simtime.Time(3 * simtime.Hour)
+		events, outs := zoneOutageTrace(64, 2, at)
+		mg.Outages = outs
+		points, stats, err := mg.RunTimeline(events, 6*simtime.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points, stats
+	}
+	p1, s1 := run()
+	p2, s2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("timelines diverged")
+	}
+}

@@ -96,6 +96,16 @@ type Model struct {
 	// StopTime is the quiesce cost; RestartTime is process spawn +
 	// device context + collective re-initialization.
 	StopTime, RestartTime simtime.Duration
+	// Cluster is the underlying pool; when its Topo is defined,
+	// redistribution is priced per link class over the actual path
+	// between serving and fetching failure domains instead of the
+	// flat contended Inter link.
+	Cluster hw.Cluster
+	// Replication is the checkpoint replication policy; when enabled
+	// (and the topology is defined) dirty flushes also push shards to
+	// the cross-domain replicas, and Failover prices a full-state
+	// cross-domain fetch.
+	Replication checkpoint.Policy
 }
 
 // Default fixed phase costs. The paper's flat 4-minute figure bundled
@@ -141,6 +151,7 @@ func newModel(layerBytes []int64, cluster hw.Cluster) *Model {
 		Link:        cluster.Inter,
 		StopTime:    DefaultStop,
 		RestartTime: DefaultRestart,
+		Cluster:     cluster,
 	}
 }
 
@@ -184,9 +195,16 @@ func (m *Model) Price(old, new Assignment, dirty bool) Costs {
 		c.Stop = m.StopTime
 		if dirty {
 			c.Flush = m.flushTime(old)
+			if push := m.ReplicationOverhead(old); push > c.Flush {
+				c.Flush = push
+			}
 		}
 	}
-	c.Redistribute = m.redistributeTime(old, new)
+	if m.Cluster.Topo.Defined() {
+		c.Redistribute = m.redistributeTimeTopo(old, new)
+	} else {
+		c.Redistribute = m.redistributeTime(old, new)
+	}
 	c.Restart = m.RestartTime
 	return c
 }

@@ -1,0 +1,135 @@
+package restart
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/simtime"
+)
+
+func topoModel(t *testing.T, gpus int) *Model {
+	t.Helper()
+	cluster := hw.SpotCluster(hw.NC24v3, gpus)
+	cluster.Topo = hw.SpotTopology(4, 2, 2)
+	return NewModel(model.BERTLarge(), cluster)
+}
+
+func flatModel(t *testing.T, gpus int) *Model {
+	t.Helper()
+	return NewModel(model.BERTLarge(), hw.SpotCluster(hw.NC24v3, gpus))
+}
+
+func TestFlatPricingUntouchedByTopologyCode(t *testing.T) {
+	// A model built on a flat cluster must price identically to the
+	// pre-topology code: redistributeTime, not redistributeTimeTopo,
+	// and no replication terms.
+	m := flatModel(t, 64)
+	n := len(m.LayerBytes)
+	old := Assignment{Stages: EvenStages(n, 4), D: 4}
+	new := Assignment{Stages: EvenStages(n, 8), D: 4}
+	got := m.Price(old, new, true)
+	want := Costs{
+		Stop:         m.StopTime,
+		Flush:        m.flushTime(old),
+		Redistribute: m.redistributeTime(old, new),
+		Restart:      m.RestartTime,
+	}
+	if got != want {
+		t.Fatalf("flat price = %v, want %v", got, want)
+	}
+	if m.ReplicationOverhead(old) != 0 {
+		t.Fatal("flat cluster must have zero replication overhead")
+	}
+	if (m.Failover(new) != Costs{}) {
+		t.Fatal("flat cluster must have zero failover cost")
+	}
+}
+
+func TestTopoRedistributePricesAtMostFlat(t *testing.T) {
+	// Nearest-replica fetches over a topology can only improve on the
+	// flat model's everything-over-Inter price when the cross links
+	// are no slower than Inter, and must stay deterministic.
+	mTopo := topoModel(t, 64)
+	mFlat := flatModel(t, 64)
+	n := len(mTopo.LayerBytes)
+	old := Assignment{Stages: EvenStages(n, 4), D: 4}
+	new := Assignment{Stages: EvenStages(n, 8), D: 4}
+	topo := mTopo.Price(old, new, false)
+	if topo.Redistribute == 0 {
+		t.Fatal("reshape must move state")
+	}
+	again := mTopo.Price(old, new, false)
+	if topo != again {
+		t.Fatal("topology pricing must be deterministic")
+	}
+	// Same-shape replacement still redistributes nothing.
+	if c := mTopo.Price(old, old, false); c.Redistribute != 0 {
+		t.Fatalf("identity morph redistribute = %v, want 0", c.Redistribute)
+	}
+	// Cold start (no holders) falls back to the flat Inter price.
+	coldTopo := mTopo.Price(Assignment{}, new, false)
+	coldFlat := mFlat.Price(Assignment{}, new, false)
+	if coldTopo.Redistribute != coldFlat.Redistribute {
+		t.Fatalf("cold-start topo = %v, flat = %v", coldTopo.Redistribute, coldFlat.Redistribute)
+	}
+}
+
+func TestReplicationOverhead(t *testing.T) {
+	m := topoModel(t, 64)
+	n := len(m.LayerBytes)
+	a := Assignment{Stages: EvenStages(n, 4), D: 4}
+	if m.ReplicationOverhead(a) != 0 {
+		t.Fatal("overhead must be zero with replication off")
+	}
+	m.Replication = checkpoint.Policy{Replicas: 2, Spread: hw.DomainZone}
+	k2 := m.ReplicationOverhead(a)
+	if k2 <= 0 {
+		t.Fatal("k=2 push must cost time")
+	}
+	m.Replication.Replicas = 3
+	if k3 := m.ReplicationOverhead(a); k3 != 2*k2 {
+		t.Fatalf("k=3 push = %v, want 2x k=2 (%v)", k3, 2*k2)
+	}
+	// The push rides the spread-level cross link: zone spread pays the
+	// WAN, rack spread pays the cheaper cross-rack link.
+	m.Replication = checkpoint.Policy{Replicas: 2, Spread: hw.DomainRack}
+	rack := m.ReplicationOverhead(a)
+	if rack >= k2 {
+		t.Fatalf("rack-spread push (%v) must be cheaper than zone-spread (%v)", rack, k2)
+	}
+	// With replication on, a dirty flush is bounded below by the push.
+	old := Assignment{Stages: EvenStages(n, 4), D: 4}
+	m.Replication = checkpoint.Policy{Replicas: 2, Spread: hw.DomainZone}
+	c := m.Price(old, a, true)
+	if c.Flush < m.ReplicationOverhead(old) {
+		t.Fatalf("dirty flush %v below replica push %v", c.Flush, m.ReplicationOverhead(old))
+	}
+}
+
+func TestFailoverPricing(t *testing.T) {
+	m := topoModel(t, 64)
+	n := len(m.LayerBytes)
+	a := Assignment{Stages: EvenStages(n, 4), D: 3}
+	if (m.Failover(a) != Costs{}) {
+		t.Fatal("failover without replication must be free (nothing to fail over to)")
+	}
+	m.Replication = checkpoint.Policy{Replicas: 2, Spread: hw.DomainZone}
+	c := m.Failover(a)
+	if c.Stop != m.StopTime || c.Restart != m.RestartTime {
+		t.Fatalf("failover fixed phases = %v", c)
+	}
+	if c.Redistribute <= 0 {
+		t.Fatal("failover must pay a cross-zone fetch")
+	}
+	// The fetch moves full stage state over the WAN — strictly more
+	// than a same-shape morph, which moves nothing.
+	if morph := m.Price(a, a, false); c.Redistribute <= morph.Redistribute {
+		t.Fatal("failover fetch must exceed identity-morph redistribution")
+	}
+	if (m.Failover(Assignment{}) != Costs{}) {
+		t.Fatal("empty failover must be free")
+	}
+	_ = simtime.Second
+}

@@ -63,6 +63,15 @@ func (c *Chaos) Expand(horizon simtime.Duration) []Event {
 	periodic(5, c.ShockEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
 		return Event{At: at, Kind: "price-shock", Factor: c.ShockFactor, Duration: c.ShockDuration}
 	})
+	// Correlated domain outages ride their own streams (offsets 6/7) so
+	// enabling them never reshuffles the older chaos draws. Domains stay
+	// unpinned (-1): the compiler draws one holding live VMs.
+	periodic(6, c.ZoneOutageEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "zone-outage", Domain: -1}
+	})
+	periodic(7, c.RackOutageEvery, func(rng *simtime.Rand, at simtime.Duration) Event {
+		return Event{At: at, Kind: "rack-outage", Domain: -1}
+	})
 
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out

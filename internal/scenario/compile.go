@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/autoconfig"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/manager"
@@ -33,6 +34,7 @@ type Compiled struct {
 	Degrade  []manager.Degradation
 	NetSched []manager.NetDegradation
 	ObjSched []manager.ObjectiveChange
+	Outages  []manager.DomainOutage
 	Horizon  simtime.Duration
 	// Skipped counts scripted/chaos events dropped because no live VM
 	// was available to victimize at their instant.
@@ -104,6 +106,9 @@ func compileSingle(sc *Scenario) (*Compiled, *spot.Market, *price.Curve, error) 
 		vm = hw.NC24v3
 	}
 	cluster := hw.SpotCluster(vm, sc.Job.ClusterGPUs)
+	if t := sc.Job.Topology; t.Defined() {
+		cluster.Topo = hw.SpotTopology(t.Zones, t.RacksPerZone, t.NodesPerRack)
+	}
 	job, err := core.NewJob(spec, cluster, sc.Job.Batch, sc.Job.Seed)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -138,6 +143,13 @@ func compileSingle(sc *Scenario) (*Compiled, *spot.Market, *price.Curve, error) 
 		opts.HeartbeatEvery = sc.Run.HeartbeatEvery
 	}
 	opts.Prices = curve
+	if sc.Checkpoint.Replicas > 1 {
+		spread := hw.DomainZone
+		if sc.Checkpoint.Spread == "rack" {
+			spread = hw.DomainRack
+		}
+		opts.Replication = checkpoint.Policy{Replicas: sc.Checkpoint.Replicas, Spread: spread}
+	}
 
 	// Market: the analytic gap prior must be read before the trace is
 	// generated (trace generation advances the market's state), the
@@ -216,6 +228,10 @@ func buildCurve(sc *Scenario, runHorizon simtime.Duration) (*price.Curve, error)
 // capacity the provider reclaimed on top of its own churn.
 func (c *Compiled) merge(base []spot.Event, script []Event, curve *price.Curve) error {
 	sc := c.Scenario
+	var topo hw.Topology
+	if t := sc.Job.Topology; t.Defined() {
+		topo = hw.SpotTopology(t.Zones, t.RacksPerZone, t.NodesPerRack)
+	}
 	seed := sc.Run.VictimSeed
 	if seed == 0 {
 		if sc.Chaos != nil {
@@ -281,6 +297,50 @@ func (c *Compiled) merge(base []spot.Event, script []Event, curve *price.Curve) 
 				delete(live, vm)
 				dead[vm] = true
 			}
+		case "zone-outage", "rack-outage":
+			// A correlated mass preemption of one whole failure domain:
+			// every live VM mapped there dies at the instant, and the
+			// manager additionally settles checkpoint survivability via
+			// the paired DomainOutage record.
+			level := hw.DomainZone
+			if ev.Kind == "rack-outage" {
+				level = hw.DomainRack
+			}
+			if !topo.Defined() {
+				c.Skipped++
+				continue
+			}
+			dom := ev.Domain
+			if dom < 0 {
+				domSet := map[int]bool{}
+				for _, id := range liveIDs() {
+					domSet[topo.DomainOfVM(id, level)] = true
+				}
+				if len(domSet) == 0 {
+					c.Skipped++
+					continue
+				}
+				doms := make([]int, 0, len(domSet))
+				for d := range domSet {
+					doms = append(doms, d)
+				}
+				sort.Ints(doms)
+				dom = doms[rng.Intn(len(doms))]
+			}
+			killed := 0
+			for _, id := range liveIDs() {
+				if topo.DomainOfVM(id, level) != dom {
+					continue
+				}
+				c.Events = append(c.Events, spot.Event{At: at, Kind: spot.Preempt, VM: id, GPUs: live[id]})
+				delete(live, id)
+				dead[id] = true
+				killed++
+			}
+			if killed == 0 {
+				c.Skipped++
+			}
+			c.Outages = append(c.Outages, manager.DomainOutage{At: at, Level: level, Domain: dom})
 		case "straggler", "degrade":
 			ids := liveIDs()
 			if len(ids) == 0 {

@@ -130,9 +130,13 @@ func CompileFleet(sc *Scenario) (*CompiledFleet, error) {
 	}
 
 	var pre []fleet.ScriptedPreempt
+	var outs []fleet.ScriptedOutage
 	for _, ev := range sc.Events {
-		if ev.Kind == "preempt" {
+		switch ev.Kind {
+		case "preempt":
 			pre = append(pre, fleet.ScriptedPreempt{At: simtime.Time(ev.At), Count: ev.Count})
+		case "zone-outage":
+			outs = append(outs, fleet.ScriptedOutage{At: simtime.Time(ev.At), Zone: ev.Domain})
 		}
 	}
 	vseed := sc.Fleet.VictimSeed
@@ -144,6 +148,8 @@ func CompileFleet(sc *Scenario) (*CompiledFleet, error) {
 		Probe:      sc.Market.Probe,
 		Prices:     curve,
 		Preempts:   pre,
+		Zones:      sc.Fleet.Zones,
+		Outages:    outs,
 		VictimSeed: vseed,
 	}
 	return c, nil
@@ -265,7 +271,10 @@ type ArbiterReport struct {
 	ReLeases       int `json:"re_leases"`
 	MarketPreempts int `json:"market_preempts"`
 	ScriptedKills  int `json:"scripted_kills"`
-	Cascades       int `json:"cascades"`
+	// ZoneOutages counts scripted zone outages; omitted (keeping older
+	// fleet report bytes unchanged) when zero.
+	ZoneOutages int `json:"zone_outages,omitempty"`
+	Cascades    int `json:"cascades"`
 }
 
 func buildFleetReport(c *CompiledFleet, res *FleetResult) *FleetReport {
@@ -284,6 +293,7 @@ func buildFleetReport(c *CompiledFleet, res *FleetResult) *FleetReport {
 			ReLeases:       a.ReLeases,
 			MarketPreempts: a.MarketPreempts,
 			ScriptedKills:  a.ScriptedKills,
+			ZoneOutages:    a.ZoneOutages,
 			Cascades:       len(a.Cascades),
 		},
 		JobDollars: []float64{},

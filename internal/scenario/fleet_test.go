@@ -85,7 +85,7 @@ func TestParseFleetStrict(t *testing.T) {
 		{"dup-name", "name: batch", "name: deadline", `jobs[1].name: duplicate "deadline"`},
 		{"no-cluster", "  - name: batch\n    cluster-gpus: 48\n", "  - name: batch\n", "jobs[1].cluster-gpus: required"},
 		{"bad-min", "min-gpus: 16", "min-gpus: 41", "jobs[0].min-gpus: 41 outside [0, target-gpus]"},
-		{"bad-kind", "kind: preempt\n    count: 8", "kind: straggler\n    factor: 1.12", "fleet mode supports only preempt and price-shock"},
+		{"bad-kind", "kind: preempt\n    count: 8", "kind: straggler\n    factor: 1.12", "fleet mode supports only preempt, price-shock and zone-outage"},
 		{"vm-pin", "kind: preempt\n    count: 8", "kind: preempt\n    count: 8\n    vm: 3", "vm pinning is not supported in fleet mode"},
 		{"bad-count", "count: 8", "count: 0", "count must be positive"},
 		{"late-event", "at: 3h", "at: 9h", "outside [0, horizon]"},

@@ -85,6 +85,10 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "dollars:   $%.2f = $%.2f compute + $%.2f reconfig + $%.2f idle ($%.2f per 1k examples)\n",
 			s.DollarsSpent, s.DollarsCompute, s.DollarsReconfig, s.DollarsIdle, 1000*s.DollarsPerExample())
 	}
+	if s.Failovers > 0 || s.UnrecoverableOutages > 0 {
+		fmt.Fprintf(&b, "outages:   %d failover(s) costing %v, %d unrecoverable\n",
+			s.Failovers, s.FailoverDowntime, s.UnrecoverableOutages)
+	}
 	if r.Recovery.Acknowledged > 0 {
 		fmt.Fprintf(&b, "recovery:  %d preemptions acknowledged (mean %.0fs, max %.0fs), %d unacknowledged\n",
 			r.Recovery.Acknowledged, r.Recovery.MeanSeconds, r.Recovery.MaxSeconds, r.Recovery.Unacknowledged)
@@ -196,11 +200,16 @@ func checkInvariants(points []manager.TimelinePoint, stats manager.Stats) []stri
 		out = append(out, fmt.Sprintf("negative progress counters: %.0f examples, %d mini-batches, %d lost",
 			stats.Examples, stats.MiniBatches, stats.LostMiniBatches))
 	}
-	if stats.MorphDowntime > stats.Downtime || stats.Downtime < 0 {
-		out = append(out, fmt.Sprintf("downtime accounting inconsistent: %v reconfiguration > %v total", stats.MorphDowntime, stats.Downtime))
+	if stats.MorphDowntime+stats.FailoverDowntime > stats.Downtime || stats.Downtime < 0 {
+		out = append(out, fmt.Sprintf("downtime accounting inconsistent: %v reconfiguration + %v failover > %v total",
+			stats.MorphDowntime, stats.FailoverDowntime, stats.Downtime))
 	}
 	if stats.MiniBatches > 0 && stats.Examples <= 0 {
 		out = append(out, "mini-batches completed but no examples counted (lost progress)")
+	}
+	if stats.UnrecoverableOutages > 0 {
+		out = append(out, fmt.Sprintf("lost progress: %d domain outage(s) destroyed every checkpoint replica (%d mini-batches discarded)",
+			stats.UnrecoverableOutages, stats.LostMiniBatches))
 	}
 	return out
 }

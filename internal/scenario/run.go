@@ -68,6 +68,7 @@ func (c *Compiled) Run(stateDir string) (*Result, error) {
 	mg.Degrade = c.Degrade
 	mg.NetDegrade = c.NetSched
 	mg.ObjChange = c.ObjSched
+	mg.Outages = c.Outages
 	points, stats, err := mg.RunTimeline(c.Events, c.Horizon)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)

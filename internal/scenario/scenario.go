@@ -53,6 +53,33 @@ type Scenario struct {
 	Fleet *FleetSpec
 	// Jobs is the fleet-mode tenant list.
 	Jobs []FleetJobSpec
+	// Checkpoint configures §4.5 checkpoint replication across failure
+	// domains (single-job mode only; requires a job topology).
+	Checkpoint CheckpointSpec
+}
+
+// TopologySpec arranges the job's cluster into failure domains (the
+// `job.topology:` block). Zero value means flat — the pre-topology
+// model, bit-identical to scenarios without the block.
+type TopologySpec struct {
+	// Zones is the availability-zone count; >= 2 defines a topology.
+	Zones int
+	// RacksPerZone and NodesPerRack shape the inner tiers (default 1).
+	RacksPerZone int
+	NodesPerRack int
+}
+
+// Defined reports whether the spec names more than one failure domain.
+func (t TopologySpec) Defined() bool { return t.Zones > 1 }
+
+// CheckpointSpec configures checkpoint replication (the `checkpoint:`
+// block): every shard is written to Replicas distinct domains at the
+// Spread level, so losing one whole domain leaves a live copy.
+type CheckpointSpec struct {
+	// Replicas is the copy count; <= 1 disables replication.
+	Replicas int
+	// Spread is the anti-affinity level: "zone" (default) or "rack".
+	Spread string
 }
 
 // FleetSpec parameterizes a multi-job fleet run (the `fleet:` block).
@@ -64,6 +91,10 @@ type FleetSpec struct {
 	// VictimSeed seeds the scripted reclaims' victim draws. 0 derives
 	// it from the market seed.
 	VictimSeed int64
+	// Zones spreads the shared pool's VMs round-robin over this many
+	// availability zones (id % zones); >= 2 enables zone-outage events.
+	// 0 (default) keeps the pool flat.
+	Zones int
 }
 
 // FleetJobSpec is one tenant in a fleet-mode scenario.
@@ -107,6 +138,8 @@ type JobSpec struct {
 	Batch int
 	// Seed seeds job calibration and the job's own testbed.
 	Seed int64
+	// Topology arranges the cluster into failure domains; zero = flat.
+	Topology TopologySpec
 }
 
 // MarketSpec parameterizes the spot market generating the base event
@@ -185,13 +218,17 @@ type Event struct {
 	// At is the event instant, relative to run start.
 	At simtime.Duration
 	// Kind is one of "preempt", "straggler", "degrade", "net-degrade",
-	// "price-shock", "objective".
+	// "price-shock", "objective", "zone-outage", "rack-outage".
 	Kind string
 	// Count sizes a preemption burst (default 1).
 	Count int
 	// VM pins the victim VM id; -1 (default) picks a live VM with the
 	// victim seed.
 	VM int
+	// Domain pins the failure domain a zone-outage/rack-outage takes
+	// out; -1 (default) draws a domain holding live VMs with the victim
+	// seed. Fleet mode requires an explicit domain.
+	Domain int
 	// Factor is the slowdown (straggler/degrade/net-degrade) or price
 	// multiplier (price-shock).
 	Factor float64
@@ -236,6 +273,11 @@ type Chaos struct {
 	ShockEvery    simtime.Duration
 	ShockFactor   float64
 	ShockDuration simtime.Duration
+	// ZoneOutageEvery/RackOutageEvery add periodic correlated
+	// mass-preemptions of one whole failure domain (seeded domain
+	// draws). Both require a job topology.
+	ZoneOutageEvery simtime.Duration
+	RackOutageEvery simtime.Duration
 }
 
 // Load reads and parses a scenario file.
@@ -280,7 +322,7 @@ func Parse(data []byte) (*Scenario, error) {
 		// Fleet mode: N jobs share one market through the arbiter. The
 		// single-job blocks are rejected outright — their settings live
 		// per job in jobs[].
-		for _, k := range []string{"job", "run", "chaos"} {
+		for _, k := range []string{"job", "run", "chaos", "checkpoint"} {
 			if _, ok := t.m[k]; ok {
 				t.used[k] = true
 				d.errf("fleet mode: the %q block is not allowed (per-job settings live in jobs[])", k)
@@ -291,6 +333,7 @@ func Parse(data []byte) (*Scenario, error) {
 			Horizon:    fs.dur("horizon", 0),
 			VMGPUs:     fs.num("vm-gpus", 1),
 			VictimSeed: fs.seed("victim-seed", 0),
+			Zones:      fs.num("zones", 0),
 		}
 		fs.done()
 		for i, jn := range t.list("jobs") {
@@ -326,7 +369,25 @@ func Parse(data []byte) (*Scenario, error) {
 			Batch:       j.num("batch", 8192),
 			Seed:        j.seed("seed", 1),
 		}
+		if tn := j.child("topology"); tn != nil {
+			ts := d.section(tn, "job.topology")
+			sc.Job.Topology = TopologySpec{
+				Zones:        ts.num("zones", 0),
+				RacksPerZone: ts.num("racks-per-zone", 1),
+				NodesPerRack: ts.num("nodes-per-rack", 1),
+			}
+			ts.done()
+		}
 		j.done()
+
+		if cn := t.child("checkpoint"); cn != nil {
+			cs := d.section(cn, "checkpoint")
+			sc.Checkpoint = CheckpointSpec{
+				Replicas: cs.num("replicas", 0),
+				Spread:   cs.enum("spread", "zone", "zone", "rack"),
+			}
+			cs.done()
+		}
 	}
 
 	m := d.section(t.child("market"), "market")
@@ -386,12 +447,14 @@ func Parse(data []byte) (*Scenario, error) {
 			es := d.section(em, fmt.Sprintf("events[%d]", i))
 			ev := Event{
 				At:   es.dur("at", 0),
-				Kind: es.enum("kind", "", "preempt", "straggler", "degrade", "net-degrade", "price-shock", "objective"),
+				Kind: es.enum("kind", "", "preempt", "straggler", "degrade", "net-degrade", "price-shock", "objective", "zone-outage", "rack-outage"),
 			}
 			switch ev.Kind {
 			case "preempt":
 				ev.Count = es.num("count", 1)
 				ev.VM = es.num("vm", -1)
+			case "zone-outage", "rack-outage":
+				ev.Domain = es.num("domain", -1)
 			case "straggler", "degrade":
 				ev.VM = es.num("vm", -1)
 				ev.Factor = es.float("factor", 0)
@@ -425,6 +488,8 @@ func Parse(data []byte) (*Scenario, error) {
 			ShockEvery:        cs.dur("shock-every", 0),
 			ShockFactor:       cs.float("shock-factor", 2),
 			ShockDuration:     cs.dur("shock-duration", 45*simtime.Minute),
+			ZoneOutageEvery:   cs.dur("zone-outage-every", 0),
+			RackOutageEvery:   cs.dur("rack-outage-every", 0),
 		}
 		cs.done()
 	}
@@ -476,6 +541,19 @@ func (d *decoder) validate(sc *Scenario) {
 	if sc.Run.Horizon <= 0 {
 		d.errf("run.horizon: required and positive")
 	}
+	topo := sc.Job.Topology
+	if topo.Zones == 1 || topo.Zones < 0 {
+		d.errf("job.topology.zones: must be >= 2 (or omit the block for a flat cluster), got %d", topo.Zones)
+	}
+	if topo.Zones != 0 && (topo.RacksPerZone < 1 || topo.NodesPerRack < 1) {
+		d.errf("job.topology: racks-per-zone and nodes-per-rack must be positive")
+	}
+	if sc.Checkpoint.Replicas < 0 {
+		d.errf("checkpoint.replicas: must be non-negative, got %d", sc.Checkpoint.Replicas)
+	}
+	if sc.Checkpoint.Replicas > 1 && !topo.Defined() {
+		d.errf("checkpoint.replicas: replication needs a job.topology block with zones >= 2")
+	}
 	priced := sc.Prices.Kind != "none"
 	if sc.Run.Objective != "max-throughput" && !priced {
 		d.errf("run.objective %q needs a prices block", sc.Run.Objective)
@@ -509,11 +587,26 @@ func (d *decoder) validate(sc *Scenario) {
 			if ev.Objective != "max-throughput" && !priced {
 				d.errf("%s: objective %q needs a prices block", at, ev.Objective)
 			}
+		case "zone-outage":
+			if !topo.Defined() {
+				d.errf("%s: needs a job.topology block with zones >= 2", at)
+			} else if ev.Domain >= topo.Zones {
+				d.errf("%s: domain %d outside [0, zones)", at, ev.Domain)
+			}
+		case "rack-outage":
+			if !topo.Defined() {
+				d.errf("%s: needs a job.topology block with zones >= 2", at)
+			} else if ev.Domain >= topo.Zones*topo.RacksPerZone {
+				d.errf("%s: domain %d outside [0, zones*racks-per-zone)", at, ev.Domain)
+			}
 		}
 	}
 	if c := sc.Chaos; c != nil {
 		if c.ShockEvery > 0 && !priced {
 			d.errf("chaos.shock-every: needs a prices block")
+		}
+		if (c.ZoneOutageEvery > 0 || c.RackOutageEvery > 0) && !topo.Defined() {
+			d.errf("chaos outage streams need a job.topology block with zones >= 2")
 		}
 		for _, rg := range []struct {
 			name string
@@ -543,6 +636,9 @@ func (d *decoder) validateFleet(sc *Scenario) {
 	}
 	if f.VMGPUs != 1 && f.VMGPUs != 4 {
 		d.errf("fleet.vm-gpus: must be 1 or 4, got %d", f.VMGPUs)
+	}
+	if f.Zones == 1 || f.Zones < 0 {
+		d.errf("fleet.zones: must be >= 2 (or omit for a flat pool), got %d", f.Zones)
 	}
 	if len(sc.Jobs) == 0 {
 		d.errf("jobs: fleet mode needs at least one job")
@@ -592,8 +688,14 @@ func (d *decoder) validateFleet(sc *Scenario) {
 			if !priced {
 				d.errf("%s: needs a prices block", at)
 			}
+		case "zone-outage":
+			if f.Zones < 2 {
+				d.errf("%s: needs fleet.zones >= 2", at)
+			} else if ev.Domain < 0 || ev.Domain >= f.Zones {
+				d.errf("%s: fleet mode requires an explicit domain in [0, zones)", at)
+			}
 		default:
-			d.errf("%s: fleet mode supports only preempt and price-shock events", at)
+			d.errf("%s: fleet mode supports only preempt, price-shock and zone-outage events", at)
 		}
 	}
 }

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/scenarios"
+)
+
+func loadZoneFailover(t *testing.T) *Scenario {
+	t.Helper()
+	data, err := scenarios.FS.ReadFile("zone-failover.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestZoneFailoverDrill runs the committed zone-failover drill: with
+// 2-way zone-spread replication the job survives losing a whole
+// availability zone — exactly one failover, zero unrecoverable
+// outages, zero invariant violations — and the run replays to
+// bit-identical timeline, stats and report bytes.
+func TestZoneFailoverDrill(t *testing.T) {
+	res, err := Run(loadZoneFailover(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Failovers != 1 || s.UnrecoverableOutages != 0 {
+		t.Fatalf("failovers=%d unrecoverable=%d, want 1/0", s.Failovers, s.UnrecoverableOutages)
+	}
+	if s.FailoverDowntime <= 0 {
+		t.Fatal("failover must pay cross-zone fetch downtime")
+	}
+	if s.MiniBatches <= 0 || s.Examples <= 0 {
+		t.Fatalf("progress must survive the outage: %+v", s)
+	}
+	if len(res.Report.Violations) != 0 {
+		t.Fatalf("replicated drill must be violation-free, got %v", res.Report.Violations)
+	}
+	foundFailover := false
+	for _, p := range res.Points {
+		if p.Event == "failover" {
+			foundFailover = true
+		}
+		if p.Event == "outage-loss" {
+			t.Fatal("replicated run must not report outage-loss")
+		}
+	}
+	if !foundFailover {
+		t.Fatal("timeline must record the failover point")
+	}
+
+	replay, err := Run(loadZoneFailover(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stats, replay.Stats) {
+		t.Fatalf("drill stats diverged:\n%+v\n%+v", res.Stats, replay.Stats)
+	}
+	if !reflect.DeepEqual(res.Points, replay.Points) {
+		t.Fatal("drill timelines diverged")
+	}
+	ja, err := res.Report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := replay.Report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("drill report bytes diverged")
+	}
+}
+
+// TestZoneFailoverWithoutReplicationLosesProgress re-runs the same
+// seeded drill with the checkpoint block stripped: the only copies of
+// the §4.5 shards die with zone 1, so the run reports exactly one
+// unrecoverable outage and the lost-progress invariant violation —
+// the quantified cost of running without replication. The loss path
+// must itself replay deterministically.
+func TestZoneFailoverWithoutReplicationLosesProgress(t *testing.T) {
+	run := func() *Result {
+		sc := loadZoneFailover(t)
+		sc.Checkpoint = CheckpointSpec{}
+		res, err := Run(sc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	s := res.Stats
+	if s.UnrecoverableOutages != 1 || s.Failovers != 0 {
+		t.Fatalf("unrecoverable=%d failovers=%d, want 1/0", s.UnrecoverableOutages, s.Failovers)
+	}
+	found := false
+	for _, v := range res.Report.Violations {
+		if strings.Contains(v, "lost progress") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report must flag the lost-progress violation, got %v", res.Report.Violations)
+	}
+	foundLoss := false
+	for _, p := range res.Points {
+		if p.Event == "outage-loss" {
+			foundLoss = true
+		}
+	}
+	if !foundLoss {
+		t.Fatal("timeline must record the outage-loss point")
+	}
+
+	replay := run()
+	if !reflect.DeepEqual(res.Stats, replay.Stats) {
+		t.Fatalf("loss-path stats diverged:\n%+v\n%+v", res.Stats, replay.Stats)
+	}
+	if !reflect.DeepEqual(res.Points, replay.Points) {
+		t.Fatal("loss-path timelines diverged")
+	}
+}
