@@ -35,9 +35,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 // main defers to run so profile-flushing defers execute before the
@@ -51,26 +51,14 @@ func run() int {
 	exp := flag.String("exp", "", "run a single experiment by id")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (1 runs serially with shared calibration; any other value — including 0, meaning GOMAXPROCS — isolates job caches even on one CPU, so jitter-derived numbers can differ from a serial run; see EXPERIMENTS.md)")
 	jsonDir := flag.String("json", "", "directory for per-experiment BENCH_<id>.json timing reports (empty disables)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProfile := flag.String("memprofile", "", "write an end-of-run allocation profile to this file")
+	prof := profiling.Register(flag.CommandLine, "varuna-bench")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "varuna-bench: -cpuprofile: %v\n", err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "varuna-bench: -cpuprofile: %v\n", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if *memProfile != "" {
-		defer writeMemProfile(*memProfile)
-	}
+	defer prof.Stop()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -125,20 +113,6 @@ func run() int {
 		return 1
 	}
 	return 0
-}
-
-// writeMemProfile dumps the allocation profile at the end of the run.
-func writeMemProfile(path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "varuna-bench: -memprofile: %v\n", err)
-		return
-	}
-	defer f.Close()
-	runtime.GC() // settle the live heap so retained allocations are visible
-	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-		fmt.Fprintf(os.Stderr, "varuna-bench: -memprofile: %v\n", err)
-	}
 }
 
 func writeReport(dir string, r experiments.Report) error {

@@ -36,6 +36,8 @@ func main() {
 	current := flag.String("current", "", "directory of the fresh run's BENCH_<id>.json reports")
 	tolerance := flag.Float64("tolerance", 3.0, "multiplicative wall_ms slack vs baseline")
 	floor := flag.Float64("floor-ms", 250, "additive wall_ms slack vs baseline")
+	history := flag.String("history", "", "append this green run's wall_ms summary (p50/p99/max) to the given JSONL file and flag cross-run drift")
+	drift := flag.Float64("drift", 2.0, "advisory drift factor vs the historical per-experiment median (with -history)")
 	flag.Parse()
 
 	if *current == "" {
@@ -61,6 +63,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("all %d experiments within %.1fx + %.0fms of baseline\n", len(deltas), *tolerance, *floor)
+
+	// The gate is green: record the run in the cross-run history and
+	// surface slow creep a single-baseline comparison cannot see. Drift
+	// is advisory — it never fails the gate.
+	if *history != "" {
+		entry := experiments.NewHistoryEntry(cur)
+		hist, err := experiments.LoadHistory(*history)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-benchdiff: -history:", err)
+			os.Exit(2)
+		}
+		for _, msg := range experiments.Drift(hist, entry, *drift) {
+			fmt.Printf("drift (advisory): %s\n", msg)
+		}
+		if err := experiments.AppendHistory(*history, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-benchdiff: -history:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("history: appended run summary (p50 %.0fms, p99 %.0fms, max %.0fms) to %s (%d prior run(s))\n",
+			entry.P50, entry.P99, entry.Max, *history, len(hist))
+	}
 }
 
 // loadReports reads every BENCH_*.json in dir.

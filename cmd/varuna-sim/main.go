@@ -18,21 +18,23 @@
 //	varuna-sim run chaos-stress -json report.json    # machine-readable report
 //	varuna-sim run restart-cost -state ./state       # persist planner+meter
 //	varuna-sim run multi-job -trace trace.json       # + Chrome trace export
+//	varuna-sim run elastic -html report.html         # + HTML report with sparklines
 //	varuna-sim trace multi-job                       # trace-first shorthand
+//	varuna-sim metrics elastic -o out/               # OpenMetrics + series CSV export
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 	"repro/scenarios"
 )
@@ -88,52 +90,67 @@ func listScenarios() {
 	}
 }
 
-// writeMemProfile snapshots the allocation profile after a forced GC,
-// the same discipline varuna-bench uses.
-func writeMemProfile(path string) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "varuna-sim: -memprofile: %v\n", err)
-		return
-	}
-	defer f.Close()
-	runtime.GC()
-	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-		fmt.Fprintf(os.Stderr, "varuna-sim: -memprofile: %v\n", err)
-	}
+// runOutcome is what an executed scenario hands the CLI: the printable
+// report pieces plus the telemetry state the exporters read.
+type runOutcome struct {
+	summary    string
+	jsonBytes  func() ([]byte, error)
+	violations []string
+	series     *obs.SeriesSet
+	html       func() []byte
 }
 
 // observedRun compiles and executes a scenario with the given
 // observability hooks attached (both may be nil — then the run is
 // byte-identical to an unobserved one) and returns the report pieces
-// the CLI prints. Fleet-mode scenarios go through the arbiter; -state
-// is a single-job facility only.
-func observedRun(sc *scenario.Scenario, stateDir string, tr *obs.Tracer, met *obs.Metrics) (summary string, jsonBytes func() ([]byte, error), violations []string, err error) {
+// the CLI prints. forceTelemetry enables continuous series sampling
+// even when the scenario declares no telemetry block (the exporter
+// paths). Fleet-mode scenarios go through the arbiter; -state is a
+// single-job facility only.
+func observedRun(sc *scenario.Scenario, stateDir string, tr *obs.Tracer, met *obs.Metrics, forceTelemetry bool) (*runOutcome, error) {
 	if sc.Fleet != nil {
 		if stateDir != "" {
-			return "", nil, nil, fmt.Errorf("-state is not supported for fleet scenarios")
+			return nil, fmt.Errorf("-state is not supported for fleet scenarios")
 		}
 		c, err := scenario.CompileFleet(sc)
 		if err != nil {
-			return "", nil, nil, err
+			return nil, err
+		}
+		if forceTelemetry {
+			c.EnableTelemetry()
 		}
 		c.Observe(tr, met)
 		res, err := c.Run()
 		if err != nil {
-			return "", nil, nil, err
+			return nil, err
 		}
-		return res.Report.Summary(), res.Report.JSON, res.Report.Violations, nil
+		return &runOutcome{
+			summary:    res.Report.Summary(),
+			jsonBytes:  res.Report.JSON,
+			violations: res.Report.Violations,
+			series:     c.Series,
+			html:       res.HTML,
+		}, nil
 	}
 	c, err := scenario.Compile(sc)
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
+	}
+	if forceTelemetry {
+		c.EnableTelemetry()
 	}
 	c.Observe(tr, met)
 	res, err := c.Run(stateDir)
 	if err != nil {
-		return "", nil, nil, err
+		return nil, err
 	}
-	return res.Report.Summary(), res.Report.JSON, res.Report.Violations, nil
+	return &runOutcome{
+		summary:    res.Report.Summary(),
+		jsonBytes:  res.Report.JSON,
+		violations: res.Report.Violations,
+		series:     c.Series,
+		html:       res.HTML,
+	}, nil
 }
 
 // runScenario implements `varuna-sim run <scenario>`: load (from disk
@@ -144,31 +161,20 @@ func runScenario(args []string) int {
 	jsonOut := fs.String("json", "", "also write the structured report as JSON to this path ('-' for stdout)")
 	stateDir := fs.String("state", "", "state directory: load planner+meter before the run, save after")
 	traceOut := fs.String("trace", "", "export a Chrome trace-event JSON of the run to this path (open in Perfetto or chrome://tracing)")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProfile := fs.String("memprofile", "", "write an end-of-run allocation profile to this file")
+	htmlOut := fs.String("html", "", "write a self-contained HTML report (summary, SLOs, series sparklines) to this path")
+	prof := profiling.Register(fs, "varuna-sim run")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: varuna-sim run <scenario.yaml | committed name> [-json path] [-state dir] [-trace path] [-cpuprofile path] [-memprofile path]\ncommitted scenarios:\n")
+		fmt.Fprintf(os.Stderr, "usage: varuna-sim run <scenario.yaml | committed name> [-json path] [-state dir] [-trace path] [-html path] [-cpuprofile path] [-memprofile path]\ncommitted scenarios:\n")
 		listScenarios()
 		fs.PrintDefaults()
 	}
 	name := parseScenarioArgs(fs, args)
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if *memProfile != "" {
-		defer writeMemProfile(*memProfile)
-	}
+	defer prof.Stop()
 
 	sc, err := loadScenario(name)
 	if err != nil {
@@ -180,7 +186,9 @@ func runScenario(args []string) int {
 
 	// Observability is attached only when asked for: with -trace unset
 	// both hooks stay nil and the run (and its report bytes) is
-	// identical to an unobserved one.
+	// identical to an unobserved one. -html forces series sampling so
+	// the page has sparklines even for scenarios without a telemetry
+	// block.
 	var tr *obs.Tracer
 	var met *obs.Metrics
 	if *traceOut != "" {
@@ -188,12 +196,12 @@ func runScenario(args []string) int {
 		met = obs.NewMetrics()
 	}
 
-	summary, jsonBytes, violations, err := observedRun(sc, *stateDir, tr, met)
+	out, err := observedRun(sc, *stateDir, tr, met, *htmlOut != "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
 		return 1
 	}
-	fmt.Print(summary)
+	fmt.Print(out.summary)
 
 	if *traceOut != "" {
 		if err := writeTrace(tr, met, *traceOut); err != nil {
@@ -201,8 +209,15 @@ func runScenario(args []string) int {
 			return 1
 		}
 	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, out.html(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
+			return 1
+		}
+		fmt.Printf("html:      report → %s\n", *htmlOut)
+	}
 	if *jsonOut != "" {
-		data, err := jsonBytes()
+		data, err := out.jsonBytes()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "varuna-sim run:", err)
 			return 1
@@ -215,9 +230,63 @@ func runScenario(args []string) int {
 			return 1
 		}
 	}
-	if len(violations) > 0 {
+	if len(out.violations) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// metricsScenario implements `varuna-sim metrics <scenario> [-o dir]`:
+// run the scenario with continuous telemetry forced on and export the
+// deterministic (SimOnly) metrics snapshot as OpenMetrics text plus
+// the raw series points as CSV. Exporters do not gate: the exit code
+// reflects export success, not invariant violations.
+func metricsScenario(args []string) int {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	outDir := fs.String("o", ".", "output directory for metrics.om and series.csv")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: varuna-sim metrics <scenario.yaml | committed name> [-o dir]\ncommitted scenarios:\n")
+		listScenarios()
+		fs.PrintDefaults()
+	}
+	name := parseScenarioArgs(fs, args)
+
+	sc, err := loadScenario(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim metrics:", err)
+		return 1
+	}
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
+
+	met := obs.NewMetrics()
+	out, err := observedRun(sc, "", nil, met, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim metrics:", err)
+		return 1
+	}
+	fmt.Print(out.summary)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim metrics:", err)
+		return 1
+	}
+	om := obs.OpenMetrics(met.Snapshot(obs.SimOnly), out.series)
+	omPath := filepath.Join(*outDir, "metrics.om")
+	if err := os.WriteFile(omPath, om, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim metrics:", err)
+		return 1
+	}
+	csvPath := filepath.Join(*outDir, "series.csv")
+	if err := os.WriteFile(csvPath, out.series.CSV(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "varuna-sim metrics:", err)
+		return 1
+	}
+	names := out.series.Names()
+	var pts int
+	for _, n := range names {
+		pts += out.series.Len(n)
+	}
+	fmt.Printf("metrics:   OpenMetrics → %s, %d series (%d points) → %s\n", omPath, len(names), pts, csvPath)
 	return 0
 }
 
@@ -266,17 +335,17 @@ func traceScenario(args []string) int {
 	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
 	tr := obs.NewTracer()
 	met := obs.NewMetrics()
-	summary, _, violations, err := observedRun(sc, "", tr, met)
+	res, err := observedRun(sc, "", tr, met, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "varuna-sim trace:", err)
 		return 1
 	}
-	fmt.Print(summary)
+	fmt.Print(res.summary)
 	if err := writeTrace(tr, met, path); err != nil {
 		fmt.Fprintln(os.Stderr, "varuna-sim trace:", err)
 		return 1
 	}
-	if len(violations) > 0 {
+	if len(res.violations) > 0 {
 		return 1
 	}
 	return 0
@@ -289,6 +358,8 @@ func main() {
 			os.Exit(runScenario(os.Args[2:]))
 		case "trace":
 			os.Exit(traceScenario(os.Args[2:]))
+		case "metrics":
+			os.Exit(metricsScenario(os.Args[2:]))
 		}
 	}
 	modelName := flag.String("model", "GPT2-2.5B", "model name (see model zoo)")

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestNewHistoryEntrySummarizes(t *testing.T) {
+	e := NewHistoryEntry([]Report{
+		{ID: "a", WallMS: 100, OK: true},
+		{ID: "b", WallMS: 300, OK: true},
+		{ID: "c", WallMS: 200, OK: true},
+		{ID: "bad", WallMS: 9999, OK: false}, // excluded
+	})
+	if len(e.Runs) != 3 || e.Runs["b"] != 300 {
+		t.Fatalf("runs %v", e.Runs)
+	}
+	if e.P50 != 200 || e.Max != 300 || e.P99 != 300 {
+		t.Fatalf("summary %+v", e)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if hist, err := LoadHistory(path); err != nil || hist != nil {
+		t.Fatalf("missing file: hist=%v err=%v", hist, err)
+	}
+	e1 := NewHistoryEntry([]Report{{ID: "a", WallMS: 100, OK: true}})
+	e2 := NewHistoryEntry([]Report{{ID: "a", WallMS: 120, OK: true}})
+	for _, e := range []HistoryEntry{e1, e2} {
+		if err := AppendHistory(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[0].Runs["a"] != 100 || hist[1].Runs["a"] != 120 {
+		t.Fatalf("history %+v", hist)
+	}
+}
+
+func TestDriftFlagsSlowCreep(t *testing.T) {
+	var hist []HistoryEntry
+	for i := 0; i < 5; i++ {
+		hist = append(hist, HistoryEntry{Runs: map[string]float64{"a": 100, "b": 50}})
+	}
+	cur := HistoryEntry{Runs: map[string]float64{"a": 250, "b": 55}}
+	msgs := Drift(hist, cur, 2.0)
+	if len(msgs) != 1 {
+		t.Fatalf("drift %v", msgs)
+	}
+	if msgs[0][:2] != "a:" {
+		t.Fatalf("drift flagged wrong experiment: %v", msgs)
+	}
+}
+
+func TestDriftSkipsThinHistory(t *testing.T) {
+	hist := []HistoryEntry{
+		{Runs: map[string]float64{"a": 100}},
+		{Runs: map[string]float64{"a": 100}},
+	}
+	cur := HistoryEntry{Runs: map[string]float64{"a": 1000}}
+	if msgs := Drift(hist, cur, 2.0); msgs != nil {
+		t.Fatalf("2-sample history should not flag: %v", msgs)
+	}
+}

@@ -42,6 +42,7 @@ func All() []Entry {
 		{ID: "multi-job", Paper: "robustness (fleet arbiter multi-tenant soak)", Run: MultiJob},
 		{ID: "zone-failover", Paper: "robustness (§4.5 failure-domain failover drill)", Run: ZoneFailover},
 		{ID: "trace-overhead", Paper: "observability (span tracing cost gate)", Run: TraceOverhead},
+		{ID: "telemetry-overhead", Paper: "observability (continuous series sampling cost gate)", Run: TelemetryOverhead},
 	}
 }
 

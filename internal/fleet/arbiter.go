@@ -128,6 +128,11 @@ func newArbiter(mk *spot.Market, jobs []*Job, opts Options) *arbiter {
 		if opts.Metrics != nil {
 			j.Mgr.Opts.Metrics = opts.Metrics
 		}
+		if opts.Series != nil {
+			j.Mgr.Opts.Series = opts.Series
+			j.Mgr.Opts.SeriesPrefix = j.Name + "/"
+			j.Mgr.Opts.SampleEvery = opts.SampleEvery
+		}
 		a.jobs = append(a.jobs, &jobState{
 			idx:      i,
 			cfg:      j,

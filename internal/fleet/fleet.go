@@ -107,6 +107,12 @@ type Options struct {
 	// wall-clock arbiter-tick self-profiling histogram
 	// ("wall.arbiter.tick_us").
 	Metrics *obs.Metrics
+	// Series, when non-nil, receives every job's continuous telemetry
+	// samples under a "<job>/" name prefix; SampleEvery sets the
+	// cadence (0 = the manager default). Nil changes nothing: the run
+	// is bit-identical to an unsampled one.
+	Series      *obs.SeriesSet
+	SampleEvery simtime.Duration
 }
 
 // JobResult is one job's view of a fleet run.
@@ -188,6 +194,11 @@ func runSingle(mk *spot.Market, j *Job, opts Options) (*Result, error) {
 	}
 	if opts.Metrics != nil {
 		j.Mgr.Opts.Metrics = opts.Metrics
+	}
+	if opts.Series != nil {
+		j.Mgr.Opts.Series = opts.Series
+		j.Mgr.Opts.SeriesPrefix = j.Name + "/"
+		j.Mgr.Opts.SampleEvery = opts.SampleEvery
 	}
 	events := spot.EventTrace(mk, j.TargetGPUs, opts.Horizon, opts.Probe)
 	points, stats, err := j.Mgr.RunTimeline(events, opts.Horizon)

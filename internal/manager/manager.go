@@ -117,6 +117,20 @@ type Options struct {
 	// simulated morph-downtime histograms and (via the Planner
 	// observer) wall-clock sweep self-profiling.
 	Metrics *obs.Metrics
+	// Series, when non-nil, receives the run's continuous telemetry:
+	// GPU count, throughput, cumulative dollars and $-per-kex,
+	// downtime and idle fractions sampled on the SampleEvery cadence
+	// plus at every timeline event, and per-recovery latencies at each
+	// post-preemption decision. Nil (the default) disables sampling
+	// with zero cost — the run is bit-identical to an unsampled one.
+	Series *obs.SeriesSet
+	// SeriesPrefix prefixes every series name this run records —
+	// "<job>/" in fleet mode, so N jobs share one SeriesSet without
+	// colliding.
+	SeriesPrefix string
+	// SampleEvery is the cadence of periodic series samples. Zero
+	// defaults to DefaultSampleEvery when Series is set.
+	SampleEvery simtime.Duration
 	// Replication is the checkpoint replication policy (§4.5 extended
 	// across failure domains): shards are pushed to Replicas domains
 	// spread at the policy's anti-affinity level, each checkpoint pays
@@ -141,6 +155,10 @@ type Options struct {
 // DefaultEventGapPrior is the stable-window assumption used when
 // neither the caller nor a market supplied one.
 const DefaultEventGapPrior = 30 * simtime.Minute
+
+// DefaultSampleEvery is the periodic series-sampling cadence used when
+// Options.Series is set without an explicit Options.SampleEvery.
+const DefaultSampleEvery = simtime.Minute
 
 // DefaultOptions mirrors the deployment described in the paper, with
 // reconfiguration downtime priced by the restart cost model rather
@@ -491,6 +509,94 @@ type timelineRun struct {
 	met     *obs.Metrics
 	segSpan obs.SpanID
 	cause   obs.SpanID
+
+	// series mirrors Options.Series (nil-safe, nil = sampling off).
+	// sNames holds the prefixed series names precomputed at start so
+	// sampling never rebuilds strings; nextSample is the next cadence
+	// tick and sampleEvery the cadence. paidGPUSec/idleGPUSec
+	// accumulate the gpu-seconds behind the idle-fraction signal, and
+	// pendingPre queues preemption instants awaiting their next
+	// decision point — the online mirror of the report's recovery
+	// accounting.
+	series      *obs.SeriesSet
+	sNames      seriesNames
+	nextSample  simtime.Time
+	sampleEvery simtime.Duration
+	paidGPUSec  float64
+	idleGPUSec  float64
+	pendingPre  []simtime.Time
+}
+
+// seriesNames precomputes the prefixed names of the per-run series.
+type seriesNames struct {
+	gpus, throughput, dollars, perKex, downFrac, idleFrac, recovery string
+}
+
+func newSeriesNames(prefix string) seriesNames {
+	return seriesNames{
+		gpus:       prefix + "gpus",
+		throughput: prefix + "throughput",
+		dollars:    prefix + "dollars",
+		perKex:     prefix + "dollars-per-kex",
+		downFrac:   prefix + "downtime-fraction",
+		idleFrac:   prefix + "idle-fraction",
+		recovery:   prefix + "recovery",
+	}
+}
+
+// sample records one value per registered signal at the given instant,
+// evaluated against the run's current state.
+func (r *timelineRun) sample(at simtime.Time) {
+	g := 0.0
+	ex := 0.0
+	if r.running {
+		ex = r.exCur
+	}
+	g = float64(r.usableGPUs())
+	r.series.Record(r.sNames.gpus, at, g)
+	r.series.Record(r.sNames.throughput, at, ex)
+	if r.meter != nil {
+		d := r.dollars()
+		r.series.Record(r.sNames.dollars, at, d)
+		if r.stats.Examples > 0 {
+			r.series.Record(r.sNames.perKex, at, d/r.stats.Examples*1000)
+		}
+	}
+	if at > 0 {
+		r.series.Record(r.sNames.downFrac, at, r.stats.Downtime.Seconds()/at.Seconds())
+	}
+	if r.paidGPUSec > 0 {
+		r.series.Record(r.sNames.idleFrac, at, r.idleGPUSec/r.paidGPUSec)
+	}
+}
+
+// catchupSamples emits every cadence tick due at or before the current
+// clock. Tick values reflect the state at the instant the loop crosses
+// them — piecewise evaluation at loop boundaries, which is exact for
+// the piecewise-constant signals sampled here.
+func (r *timelineRun) catchupSamples() {
+	for r.nextSample <= r.now {
+		r.sample(r.nextSample)
+		r.nextSample = r.nextSample.Add(r.sampleEvery)
+	}
+}
+
+// drainRecoveries resolves queued preemption instants against a
+// decision point: each pending preemption at or before the decision
+// records one recovery-latency sample (seconds from preemption to the
+// decision that re-planned the job).
+func (r *timelineRun) drainRecoveries(at simtime.Time) {
+	n := 0
+	for _, pre := range r.pendingPre {
+		if pre > at {
+			break
+		}
+		r.series.Record(r.sNames.recovery, at, at.Sub(pre).Seconds())
+		n++
+	}
+	if n > 0 {
+		r.pendingPre = r.pendingPre[n:]
+	}
 }
 
 // emit records one timeline point — the single ordered path every
@@ -501,6 +607,18 @@ type timelineRun struct {
 // outcomes, the training segment for in-segment events).
 func (r *timelineRun) emit(parent obs.SpanID, p TimelinePoint) {
 	r.points = append(r.points, p)
+	if r.series != nil {
+		// On-event sampling: every timeline event lands a sample, and a
+		// decision outcome resolves the recovery latency of the
+		// preemptions it answered. Cadence ticks the clock jumped over
+		// are emitted first so each series stays chronological.
+		r.catchupSamples()
+		switch p.Event {
+		case "morph", "p", "hold", "down":
+			r.drainRecoveries(p.At)
+		}
+		r.sample(p.At)
+	}
 	if !r.tr.Enabled() {
 		return
 	}
@@ -567,7 +685,7 @@ func (r *timelineRun) paidGPUs() int {
 // chargeTraining meters [acc, to] as a training span: the running
 // configuration's GPUs bill as compute, the held remainder as idle.
 func (r *timelineRun) chargeTraining(to simtime.Time) {
-	if r.meter != nil && to > r.acc {
+	if (r.meter != nil || r.series != nil) && to > r.acc {
 		pay := r.paidGPUs()
 		used := 0
 		if r.running {
@@ -576,8 +694,15 @@ func (r *timelineRun) chargeTraining(to simtime.Time) {
 				used = pay
 			}
 		}
-		r.meter.Charge(price.Compute, r.acc, to, used)
-		r.meter.Charge(price.Idle, r.acc, to, pay-used)
+		if r.meter != nil {
+			r.meter.Charge(price.Compute, r.acc, to, used)
+			r.meter.Charge(price.Idle, r.acc, to, pay-used)
+		}
+		if r.series != nil {
+			dur := to.Sub(r.acc).Seconds()
+			r.paidGPUSec += dur * float64(pay)
+			r.idleGPUSec += dur * float64(pay-used)
+		}
 	}
 	if to > r.acc {
 		r.acc = to
@@ -590,6 +715,12 @@ func (r *timelineRun) chargeDowntime(to simtime.Time) {
 	if r.meter != nil && to > r.acc {
 		r.meter.Charge(price.Reconfig, r.acc, to, r.paidGPUs())
 	}
+	if r.series != nil && to > r.acc {
+		// Reconfiguration holds the whole fleet without training it, but
+		// it is productive downtime, not idleness: only the paid total
+		// accrues.
+		r.paidGPUSec += to.Sub(r.acc).Seconds() * float64(r.paidGPUs())
+	}
 	if to > r.acc {
 		r.acc = to
 	}
@@ -600,6 +731,12 @@ func (r *timelineRun) chargeDowntime(to simtime.Time) {
 func (r *timelineRun) chargeIdle(to simtime.Time) {
 	if r.meter != nil && to > r.acc {
 		r.meter.Charge(price.Idle, r.acc, to, r.paidGPUs())
+	}
+	if r.series != nil && to > r.acc {
+		dur := to.Sub(r.acc).Seconds()
+		pay := float64(r.paidGPUs())
+		r.paidGPUSec += dur * pay
+		r.idleGPUSec += dur * pay
 	}
 	if to > r.acc {
 		r.acc = to
@@ -1104,6 +1241,12 @@ func (r *timelineRun) step(int32, int32) {
 		preempted = preempted || pre
 		fleetChanged = true
 	}
+	if preempted && r.series != nil {
+		// One recovery per preemption instant: simultaneous events batch
+		// into one step, so one queue entry covers the burst. The next
+		// decision emit resolves it into a recovery-latency sample.
+		r.pendingPre = append(r.pendingPre, r.now)
+	}
 	if preempted && r.running {
 		if r.tr.Enabled() && r.sinceCkpt > 0 {
 			id := r.tr.Instant(r.trk, r.cause, r.now, "manager", "rollback")
@@ -1154,6 +1297,9 @@ func (r *timelineRun) step(int32, int32) {
 	}
 	for r.now < next {
 		r.now = r.now.Add(r.mbTime)
+		if r.series != nil && r.nextSample <= r.now {
+			r.catchupSamples()
+		}
 		r.stats.MiniBatches++
 		r.stats.Examples += float64(r.current.Examples)
 		r.sinceCkpt++
@@ -1306,6 +1452,15 @@ func (mg *Manager) StartOn(q *simtime.EventQueue, feed Feed, horizon simtime.Dur
 	if r.met.Enabled() {
 		mg.Plan.SetObserver(r.met)
 	}
+	if mg.Opts.Series.Enabled() {
+		r.series = mg.Opts.Series
+		r.sNames = newSeriesNames(mg.Opts.SeriesPrefix)
+		r.sampleEvery = mg.Opts.SampleEvery
+		if r.sampleEvery <= 0 {
+			r.sampleEvery = DefaultSampleEvery
+		}
+		r.nextSample = simtime.Time(r.sampleEvery)
+	}
 	switch {
 	case mg.Opts.Meter != nil:
 		// A warm meter carries cumulative spend across manager
@@ -1367,16 +1522,25 @@ func (ru *Run) Finish() ([]TimelinePoint, Stats) {
 	if r.stats.Examples < 0 {
 		r.stats.Examples = 0
 	}
-	if r.meter != nil {
+	if (r.meter != nil || r.series != nil) && r.acc < r.hz {
 		// Bill any unmetered tail (a dead fleet outliving its last
-		// event) and publish the totals.
-		if r.acc < r.hz {
-			r.chargeIdle(r.hz)
-		}
+		// event).
+		r.chargeIdle(r.hz)
+	}
+	if r.meter != nil {
 		r.stats.DollarsSpent = r.meter.Total() - r.baseTotal
 		r.stats.DollarsCompute = r.meter.InBucket(price.Compute) - r.baseDollars[price.Compute]
 		r.stats.DollarsReconfig = r.meter.InBucket(price.Reconfig) - r.baseDollars[price.Reconfig]
 		r.stats.DollarsIdle = r.meter.InBucket(price.Idle) - r.baseDollars[price.Idle]
+	}
+	if r.series != nil {
+		// Emit any cadence ticks between the last event and the horizon,
+		// then close every series with a final sample at the horizon.
+		if r.now < r.hz {
+			r.now = r.hz
+		}
+		r.catchupSamples()
+		r.sample(r.hz)
 	}
 	return r.points, r.stats
 }

@@ -33,12 +33,14 @@ func (r *timelineRun) recordCheckpointDomains() {
 		return
 	}
 	doms := map[hw.DomainLevel]map[int]bool{
-		hw.DomainRack: make(map[int]bool),
-		hw.DomainZone: make(map[int]bool),
+		hw.DomainRack:   make(map[int]bool),
+		hw.DomainZone:   make(map[int]bool),
+		hw.DomainRegion: make(map[int]bool),
 	}
 	for id := range r.live {
 		doms[hw.DomainRack][topo.DomainOfVM(id, hw.DomainRack)] = true
 		doms[hw.DomainZone][topo.DomainOfVM(id, hw.DomainZone)] = true
+		doms[hw.DomainRegion][topo.DomainOfVM(id, hw.DomainRegion)] = true
 	}
 	r.ckptDoms = doms
 }
@@ -103,13 +105,33 @@ func (r *timelineRun) applyOutagesDue() {
 // model's price.
 func (r *timelineRun) failover(o DomainOutage, ospan obs.SpanID) {
 	delete(r.ckptDoms[o.Level], o.Domain)
-	if o.Level == hw.DomainZone {
+	topo := r.mg.RM.Cluster.Topo
+	switch o.Level {
+	case hw.DomainZone:
 		// Zone loss takes its racks too (rack ids refine zone ids:
 		// rack % zones == zone under the round-robin VM mapping).
-		topo := r.mg.RM.Cluster.Topo
 		for rack := range r.ckptDoms[hw.DomainRack] {
 			if topo.Zones > 0 && rack%topo.Zones == o.Domain {
 				delete(r.ckptDoms[hw.DomainRack], rack)
+			}
+		}
+	case hw.DomainRegion:
+		// Region loss cascades through its zones (zone / zones-per-
+		// region == region) and their racks.
+		zpr := topo.ZonesPerRegion
+		if zpr <= 0 {
+			zpr = topo.Zones
+		}
+		if zpr > 0 {
+			for zone := range r.ckptDoms[hw.DomainZone] {
+				if zone/zpr == o.Domain {
+					delete(r.ckptDoms[hw.DomainZone], zone)
+				}
+			}
+			for rack := range r.ckptDoms[hw.DomainRack] {
+				if topo.Zones > 0 && (rack%topo.Zones)/zpr == o.Domain {
+					delete(r.ckptDoms[hw.DomainRack], rack)
+				}
 			}
 		}
 	}

@@ -44,8 +44,13 @@ type chromeEvent struct {
 const chromePID = 1
 
 // ChromeTrace renders the recorded spans as Chrome trace-event JSON.
-// A nil tracer exports an empty (but valid) trace.
+// A nil tracer, or an enabled one that recorded nothing, exports the
+// canonical empty trace — an explicit guard, not a side effect of the
+// metadata emission below.
 func (t *Tracer) ChromeTrace() ([]byte, error) {
+	if t == nil || (t.Len() == 0 && len(t.Tracks()) == 0) {
+		return []byte("{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"), nil
+	}
 	var buf bytes.Buffer
 	buf.WriteString("{\"traceEvents\":[\n")
 	first := true

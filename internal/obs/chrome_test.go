@@ -127,8 +127,31 @@ func TestChromeTraceNil(t *testing.T) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		t.Fatalf("nil export invalid: %v", err)
 	}
-	// Just the process_name metadata record.
-	if len(f.TraceEvents) != 1 || f.TraceEvents[0].Ph != "M" {
+	if len(f.TraceEvents) != 0 {
 		t.Fatalf("nil export events %+v", f.TraceEvents)
+	}
+}
+
+// An enabled tracer that never recorded anything must export the same
+// canonical empty trace as a nil one — valid JSON with an empty event
+// array, not incidental metadata.
+func TestChromeTraceEmpty(t *testing.T) {
+	data, err := NewTracer().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("empty export events %+v", f.TraceEvents)
+	}
+	nilData, err := (*Tracer)(nil).ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, nilData) {
+		t.Fatal("empty and nil tracers export different bytes")
 	}
 }

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+)
+
+// CSV dumps every retained series point as byte-stable CSV:
+// one "series,t_us,value" row per point, series in sorted name order,
+// points chronological. Nil registries export just the header.
+func (s *SeriesSet) CSV() []byte {
+	var buf bytes.Buffer
+	buf.WriteString("series,t_us,value\n")
+	for _, name := range s.Names() {
+		for _, p := range s.Points(name) {
+			buf.WriteString(name)
+			buf.WriteByte(',')
+			buf.WriteString(strconv.FormatInt(int64(p.At), 10))
+			buf.WriteByte(',')
+			buf.WriteString(formatFloat(p.V))
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// OpenMetrics renders a metrics snapshot plus the latest series values
+// as OpenMetrics text exposition: counters and gauges verbatim,
+// histograms as summaries (quantile labels + _sum/_count), each series
+// as a gauge holding its last sample. Names are sanitized to the
+// exposition charset and prefixed "varuna_"; families appear in sorted
+// order so identical state exports identical bytes.
+func OpenMetrics(snap Snap, ss *SeriesSet) []byte {
+	var buf bytes.Buffer
+	for _, k := range sortedKeys(snap.Counters) {
+		n := metricName(k)
+		buf.WriteString("# TYPE " + n + " counter\n")
+		buf.WriteString(n + "_total " + strconv.FormatInt(snap.Counters[k], 10) + "\n")
+	}
+	for _, k := range sortedKeys(snap.Gauges) {
+		n := metricName(k)
+		buf.WriteString("# TYPE " + n + " gauge\n")
+		buf.WriteString(n + " " + formatFloat(snap.Gauges[k]) + "\n")
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		n := metricName(k)
+		buf.WriteString("# TYPE " + n + " summary\n")
+		buf.WriteString(n + "{quantile=\"0.5\"} " + formatFloat(h.P50) + "\n")
+		buf.WriteString(n + "{quantile=\"0.9\"} " + formatFloat(h.P90) + "\n")
+		buf.WriteString(n + "{quantile=\"0.99\"} " + formatFloat(h.P99) + "\n")
+		buf.WriteString(n + "_sum " + formatFloat(h.Mean*float64(h.Count)) + "\n")
+		buf.WriteString(n + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+	}
+	for _, name := range ss.Names() {
+		pts := ss.Points(name)
+		if len(pts) == 0 {
+			continue
+		}
+		n := metricName("series." + name)
+		buf.WriteString("# TYPE " + n + " gauge\n")
+		buf.WriteString(n + " " + formatFloat(pts[len(pts)-1].V) + "\n")
+	}
+	buf.WriteString("# EOF\n")
+	return buf.Bytes()
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// metricName maps an internal dotted/dashed name onto the OpenMetrics
+// charset: "varuna_" prefix, [a-zA-Z0-9_] body.
+func metricName(name string) string {
+	out := make([]byte, 0, len(name)+7)
+	out = append(out, "varuna_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// formatFloat renders a float densely and deterministically: the
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

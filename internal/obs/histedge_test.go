@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Pin the log2 bucket layout at its edges through the exported
+// surface: bucket 0 holds everything below 1 (zero and negatives
+// included), and the top bucket clamps astronomically large samples
+// while quantiles stay clamped to the observed max.
+
+func TestHistZeroObservation(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", 0)
+	h := m.Snapshot(All).Histograms["h"]
+	if h.Count != 1 || h.Min != 0 || h.Max != 0 {
+		t.Fatalf("zero obs snapshot %+v", h)
+	}
+	// Bucket 0's upper bound is 1, but quantiles clamp to the observed
+	// max, so a lone zero reports exactly zero at every quantile.
+	if h.P50 != 0 || h.P99 != 0 {
+		t.Fatalf("zero obs quantiles %+v", h)
+	}
+}
+
+func TestHistNegativeObservation(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", -5)
+	m.Observe("h", -1e12)
+	h := m.Snapshot(All).Histograms["h"]
+	if h.Count != 2 || h.Min != -1e12 || h.Max != -5 {
+		t.Fatalf("negative obs snapshot %+v", h)
+	}
+	// Both land in bucket 0; the quantile upper bound clamps to the
+	// observed max, which is itself negative.
+	if h.P50 != -5 || h.P99 != -5 {
+		t.Fatalf("negative obs quantiles %+v", h)
+	}
+	if h.Mean != (-5-1e12)/2 {
+		t.Fatalf("negative obs mean %v", h.Mean)
+	}
+}
+
+func TestHistMaxInt64Observation(t *testing.T) {
+	m := NewMetrics()
+	v := float64(math.MaxInt64)
+	m.Observe("h", v)
+	h := m.Snapshot(All).Histograms["h"]
+	if h.Count != 1 || h.Min != v || h.Max != v {
+		t.Fatalf("max-int64 obs snapshot %+v", h)
+	}
+	// log2(2^63) + 1 = 64 would overflow the 64-bucket layout; the
+	// clamp pins it into the top bucket (63) and the quantile clamp
+	// reports the observed max, not the bucket bound 2^63.
+	if h.P50 != v || h.P99 != v {
+		t.Fatalf("max-int64 obs quantiles %+v", h)
+	}
+}
+
+// Mixing the edges must keep rank order: zero and negatives rank below
+// the giant sample.
+func TestHistEdgeMix(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", -3)
+	m.Observe("h", 0)
+	m.Observe("h", float64(math.MaxInt64))
+	h := m.Snapshot(All).Histograms["h"]
+	if h.Count != 3 || h.Min != -3 || h.Max != float64(math.MaxInt64) {
+		t.Fatalf("edge mix snapshot %+v", h)
+	}
+	// Rank 2 of 3 sits in bucket 0, whose upper bound is 1 — and with
+	// n=3 even the p99 rank (int(0.99·2)+1 = 2) lands there, so only
+	// Max carries the giant sample.
+	if h.P50 != 1 || h.P99 != 1 {
+		t.Fatalf("edge mix quantiles %+v", h)
+	}
+}

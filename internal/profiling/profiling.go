@@ -1,0 +1,79 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing for
+// the CLI binaries (varuna-bench, varuna-sim run): register the two
+// flags on a FlagSet, Start after parsing, defer Stop. Flag names,
+// semantics and the forced-GC allocation snapshot are identical across
+// tools, so a wall_ms regression flagged by the CI perf gate can be
+// diagnosed with the same incantation everywhere:
+//
+//	<tool> ... -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profile destinations for one tool.
+type Flags struct {
+	tool string
+	cpu  *string
+	mem  *string
+	cpuF *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs. tool prefixes error
+// messages ("varuna-bench: -cpuprofile: ...").
+func Register(fs *flag.FlagSet, tool string) *Flags {
+	return &Flags{
+		tool: tool,
+		cpu:  fs.String("cpuprofile", "", "write a CPU profile of the run to this file"),
+		mem:  fs.String("memprofile", "", "write an end-of-run allocation profile to this file"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was set. Call after the
+// FlagSet is parsed; pair with a deferred Stop.
+func (f *Flags) Start() error {
+	if *f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		return fmt.Errorf("%s: -cpuprofile: %w", f.tool, err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("%s: -cpuprofile: %w", f.tool, err)
+	}
+	f.cpuF = file
+	return nil
+}
+
+// Stop flushes the CPU profile and, when -memprofile was set,
+// snapshots the allocation profile after a forced GC so retained
+// allocations are visible. Errors are reported to stderr (the process
+// is exiting; the run's own outcome should not be masked).
+func (f *Flags) Stop() {
+	if f.cpuF != nil {
+		pprof.StopCPUProfile()
+		f.cpuF.Close()
+		f.cpuF = nil
+	}
+	if *f.mem == "" {
+		return
+	}
+	file, err := os.Create(*f.mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", f.tool, err)
+		return
+	}
+	defer file.Close()
+	runtime.GC() // settle the live heap so retained allocations are visible
+	if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", f.tool, err)
+	}
+}

@@ -1,0 +1,60 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterAddsBothFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	Register(fs, "x")
+	for _, name := range []string{"cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestUnsetFlagsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := Register(fs, "x")
+	fs.Parse(nil)
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start with no flags: %v", err)
+	}
+	p.Stop() // must not panic or create files
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := Register(fs, "x")
+	fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", path, err)
+		}
+	}
+}
+
+func TestStartErrorMentionsTool(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p := Register(fs, "mytool")
+	fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")})
+	err := p.Start()
+	if err == nil {
+		t.Fatal("want error for uncreatable profile path")
+	}
+	if got := err.Error(); len(got) < 6 || got[:6] != "mytool" {
+		t.Fatalf("error %q does not lead with the tool name", got)
+	}
+}

@@ -43,10 +43,29 @@ type Compiled struct {
 	// chaos expansion, before victim resolution).
 	ScriptEvents int
 
+	// Series and Monitors are the continuous-telemetry state: created
+	// at Compile when the scenario declares a telemetry or slos block,
+	// or forced on by EnableTelemetry (the exporter commands). Both nil
+	// — the zero-alloc disabled path, byte-identical output — otherwise.
+	Series   *obs.SeriesSet
+	Monitors []*obs.Monitor
+
 	// trace/met are the observability hooks Observe attaches; both nil
 	// (fully disabled, bit-identical output) by default.
 	trace *obs.Tracer
 	met   *obs.Metrics
+}
+
+// EnableTelemetry creates the series set and attaches the scenario's
+// SLO monitors. Compile calls it when the scenario declares telemetry;
+// the exporter commands call it to force sampling on scenarios that do
+// not. Idempotent.
+func (c *Compiled) EnableTelemetry() {
+	if c.Series != nil {
+		return
+	}
+	c.Series = obs.NewSeriesSet(telemetryRing(c.Scenario))
+	c.Monitors = buildMonitors(c.Scenario, c.Series)
 }
 
 // Observe attaches a tracer and/or metrics registry to the compiled
@@ -108,6 +127,7 @@ func compileSingle(sc *Scenario) (*Compiled, *spot.Market, *price.Curve, error) 
 	cluster := hw.SpotCluster(vm, sc.Job.ClusterGPUs)
 	if t := sc.Job.Topology; t.Defined() {
 		cluster.Topo = hw.SpotTopology(t.Zones, t.RacksPerZone, t.NodesPerRack)
+		cluster.Topo.ZonesPerRegion = t.ZonesPerRegion
 	}
 	job, err := core.NewJob(spec, cluster, sc.Job.Batch, sc.Job.Seed)
 	if err != nil {
@@ -145,8 +165,11 @@ func compileSingle(sc *Scenario) (*Compiled, *spot.Market, *price.Curve, error) 
 	opts.Prices = curve
 	if sc.Checkpoint.Replicas > 1 {
 		spread := hw.DomainZone
-		if sc.Checkpoint.Spread == "rack" {
+		switch sc.Checkpoint.Spread {
+		case "rack":
 			spread = hw.DomainRack
+		case "region":
+			spread = hw.DomainRegion
 		}
 		opts.Replication = checkpoint.Policy{Replicas: sc.Checkpoint.Replicas, Spread: spread}
 	}
@@ -188,6 +211,9 @@ func Compile(sc *Scenario) (*Compiled, error) {
 
 	if err := c.merge(base, script, curve); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if telemetryDeclared(sc) {
+		c.EnableTelemetry()
 	}
 	return c, nil
 }
@@ -231,6 +257,7 @@ func (c *Compiled) merge(base []spot.Event, script []Event, curve *price.Curve) 
 	var topo hw.Topology
 	if t := sc.Job.Topology; t.Defined() {
 		topo = hw.SpotTopology(t.Zones, t.RacksPerZone, t.NodesPerRack)
+		topo.ZonesPerRegion = t.ZonesPerRegion
 	}
 	seed := sc.Run.VictimSeed
 	if seed == 0 {
@@ -297,14 +324,17 @@ func (c *Compiled) merge(base []spot.Event, script []Event, curve *price.Curve) 
 				delete(live, vm)
 				dead[vm] = true
 			}
-		case "zone-outage", "rack-outage":
+		case "zone-outage", "rack-outage", "region-outage":
 			// A correlated mass preemption of one whole failure domain:
 			// every live VM mapped there dies at the instant, and the
 			// manager additionally settles checkpoint survivability via
 			// the paired DomainOutage record.
 			level := hw.DomainZone
-			if ev.Kind == "rack-outage" {
+			switch ev.Kind {
+			case "rack-outage":
 				level = hw.DomainRack
+			case "region-outage":
+				level = hw.DomainRegion
 			}
 			if !topo.Defined() {
 				c.Skipped++

@@ -35,10 +35,27 @@ type CompiledFleet struct {
 	// ScriptEvents counts the scripted events compiled in.
 	ScriptEvents int
 
+	// Series and Monitors are the continuous-telemetry state: created
+	// at CompileFleet when the scenario declares a telemetry or slos
+	// block, or forced on by EnableTelemetry. Both nil otherwise.
+	Series   *obs.SeriesSet
+	Monitors []*obs.Monitor
+
 	// trace/met are the observability hooks Observe attaches; both nil
 	// (fully disabled, bit-identical output) by default.
 	trace *obs.Tracer
 	met   *obs.Metrics
+}
+
+// EnableTelemetry creates the fleet's series set (sampled per job
+// under a "<job>/" prefix) and attaches the scenario's SLO monitors.
+// Idempotent.
+func (c *CompiledFleet) EnableTelemetry() {
+	if c.Series != nil {
+		return
+	}
+	c.Series = obs.NewSeriesSet(telemetryRing(c.Scenario))
+	c.Monitors = buildMonitors(c.Scenario, c.Series)
 }
 
 // Observe attaches a tracer and/or metrics registry to the compiled
@@ -152,6 +169,9 @@ func CompileFleet(sc *Scenario) (*CompiledFleet, error) {
 		Outages:    outs,
 		VictimSeed: vseed,
 	}
+	if telemetryDeclared(sc) {
+		c.EnableTelemetry()
+	}
 	return c, nil
 }
 
@@ -190,6 +210,11 @@ func (c *CompiledFleet) Run() (*FleetResult, error) {
 	sc := c.Scenario
 	opts := c.Opts
 	opts.Trace, opts.Metrics = c.trace, c.met
+	if c.Series != nil {
+		opts.Series = c.Series
+		opts.SampleEvery = telemetrySampleEvery(sc)
+		attachBreachHooks(c.Monitors, c.trace, c.met)
+	}
 	res, err := fleet.Run(c.Market, c.Jobs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
@@ -224,6 +249,7 @@ func (c *CompiledFleet) Run() (*FleetResult, error) {
 		c.met.Gauge("dollars.pool", c.PoolMeter.Total())
 	}
 	out.Report = buildFleetReport(c, out)
+	out.Report.SLOs, out.Report.Violations = sloResults(c.Monitors, out.Report.Violations)
 	if c.met != nil {
 		snap := c.met.Snapshot(obs.SimOnly)
 		out.Report.Obs = &snap
@@ -252,8 +278,14 @@ type FleetReport struct {
 	JobDollars  []float64 `json:"job_dollars"`
 
 	// Violations aggregates the arbiter audit's structural violations,
-	// every job's report violations, and the shared-bill sum check.
+	// every job's report violations, the shared-bill sum check and
+	// enforce-mode SLO breaches.
 	Violations []string `json:"violations"`
+
+	// SLOs is the per-rule outcome of the scenario's declarative SLO
+	// monitors (each rule scoped to one job's series). Absent — and
+	// the report bytes unchanged — when the scenario declares none.
+	SLOs []obs.SLOResult `json:"slo,omitempty"`
 
 	// Obs is the deterministic (SimOnly) metrics-registry snapshot of
 	// an observed run — wall-clock self-profiling excluded, so replays
@@ -352,6 +384,13 @@ func (r *FleetReport) Summary() string {
 	}
 	if r.PoolDollars > 0 {
 		fmt.Fprintf(&b, "pool bill: $%.2f\n", r.PoolDollars)
+	}
+	for _, s := range r.SLOs {
+		status := "OK"
+		if !s.OK {
+			status = fmt.Sprintf("BREACHED %dx (worst %g)", s.Breaches, s.Worst)
+		}
+		fmt.Fprintf(&b, "slo %-24s %s [%s, job %s] — %s\n", s.Name+":", s.Expr, s.Mode, s.Job, status)
 	}
 	if len(r.Violations) == 0 {
 		b.WriteString("invariants: OK\n")

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/scenarios"
+)
+
+// goldenReport runs a committed scenario the way `varuna-sim run
+// -json` does (single-job or fleet as declared) and returns the
+// report bytes as they would land on disk: JSON plus the CLI's
+// trailing newline.
+func goldenReport(t *testing.T, file string) []byte {
+	t.Helper()
+	data, err := scenarios.FS.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep []byte
+	if sc.Fleet != nil {
+		res, err := RunFleet(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err = res.Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		res, err := Run(sc, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err = res.Report.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return append(rep, '\n')
+}
+
+// TestGoldenReportsUnchanged pins the telemetry layer's off-path
+// contract at the report level: every committed scenario that
+// predates the telemetry/SLO blocks must still produce report bytes
+// identical to the goldens captured before the layer existed. A
+// diff here means sampling hooks leaked into undeclared runs.
+func TestGoldenReportsUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario golden replays skipped in -short")
+	}
+	goldens, err := filepath.Glob(filepath.Join("testdata", "goldens", "*.report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goldens) < 6 {
+		t.Fatalf("expected ≥6 golden reports, found %d", len(goldens))
+	}
+	for _, golden := range goldens {
+		name := strings.TrimSuffix(filepath.Base(golden), ".report.json")
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenReport(t, name+".yaml")
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s report diverged from pre-telemetry golden (%d vs %d bytes)", name, len(got), len(want))
+			}
+		})
+	}
+}

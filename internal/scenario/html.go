@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// HTML renders the run as a self-contained report page: the summary,
+// the SLO outcomes and one inline SVG sparkline per sampled series.
+// No external assets, deterministic bytes — a bit-identical replay
+// produces a byte-identical page.
+func (r *Result) HTML() []byte {
+	return htmlReport(r.Report.Scenario, r.Report.Summary(), r.Report.SLOs, r.Compiled.Series)
+}
+
+// HTML renders the fleet run as a self-contained report page, with
+// every job's series (under its "<job>/" prefix) sparklined.
+func (r *FleetResult) HTML() []byte {
+	return htmlReport(r.Report.Scenario, r.Report.Summary(), r.Report.SLOs, r.Compiled.Series)
+}
+
+const (
+	sparkW = 640
+	sparkH = 80
+)
+
+func htmlReport(name, summary string, slos []obs.SLOResult, ss *obs.SeriesSet) []byte {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>varuna-sim: %s</title>\n", html.EscapeString(name))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #ccc; padding: 0.3em 0.6em; text-align: left; }
+.ok { color: #0a0; } .breach { color: #c00; font-weight: bold; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.meta { color: #666; font-size: 0.85em; }
+</style>
+</head><body>
+`)
+	fmt.Fprintf(&b, "<h1>scenario %s</h1>\n", html.EscapeString(name))
+	b.WriteString("<h2>Summary</h2>\n<pre>")
+	b.WriteString(html.EscapeString(summary))
+	b.WriteString("</pre>\n")
+
+	if len(slos) > 0 {
+		b.WriteString("<h2>SLOs</h2>\n<table>\n<tr><th>rule</th><th>expression</th><th>mode</th><th>samples</th><th>breaches</th><th>worst</th><th>status</th></tr>\n")
+		for _, s := range slos {
+			status, class := "OK", "ok"
+			if !s.OK {
+				status, class = "BREACHED", "breach"
+			}
+			rule := s.Name
+			if s.Job != "" {
+				rule = s.Job + ": " + rule
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td><code>%s</code></td><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td class=\"%s\">%s</td></tr>\n",
+				html.EscapeString(rule), html.EscapeString(s.Expr), s.Mode,
+				s.Samples, s.Breaches, htmlFloat(s.Worst), class, status)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	if ss.Enabled() && len(ss.Names()) > 0 {
+		b.WriteString("<h2>Series</h2>\n")
+		for _, sname := range ss.Names() {
+			pts := ss.Points(sname)
+			sum, _ := ss.Summary(sname)
+			fmt.Fprintf(&b, "<h3>%s</h3>\n", html.EscapeString(sname))
+			fmt.Fprintf(&b, "<p class=\"meta\">%d points (%d evicted) — min %s, mean %s, p50 %s, p99 %s, max %s, last %s</p>\n",
+				sum.Count, sum.Dropped, htmlFloat(sum.Min), htmlFloat(sum.Mean),
+				htmlFloat(sum.P50), htmlFloat(sum.P99), htmlFloat(sum.Max), htmlFloat(sum.Last))
+			b.WriteString(sparkline(pts))
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// sparkline renders the series as an inline SVG polyline, scaled to
+// the series' own time and value range.
+func sparkline(pts []obs.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	t0, tN := pts[0].At, pts[len(pts)-1].At
+	vMin, vMax := pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < vMin {
+			vMin = p.V
+		}
+		if p.V > vMax {
+			vMax = p.V
+		}
+	}
+	var coords []string
+	for _, p := range pts {
+		x := 0.0
+		if tN > t0 {
+			x = float64(p.At.Sub(t0)) / float64(tN.Sub(t0)) * sparkW
+		}
+		y := sparkH / 2.0
+		if vMax > vMin {
+			y = sparkH - (p.V-vMin)/(vMax-vMin)*sparkH
+		}
+		coords = append(coords, fmt.Sprintf("%.1f,%.1f", x, y))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n", sparkW, sparkH, sparkW, sparkH)
+	fmt.Fprintf(&b, "<polyline fill=\"none\" stroke=\"#36c\" stroke-width=\"1.5\" points=\"%s\"/>\n", strings.Join(coords, " "))
+	fmt.Fprintf(&b, "</svg>\n<p class=\"meta\">%s → %s</p>\n",
+		htmlHours(t0), htmlHours(tN))
+	return b.String()
+}
+
+func htmlFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func htmlHours(t simtime.Time) string {
+	return strconv.FormatFloat(t.Hours(), 'f', 2, 64) + "h"
+}

@@ -40,9 +40,14 @@ type Report struct {
 	Recovery RecoveryStats `json:"recovery"`
 
 	// Violations lists failed robustness invariants (lost progress,
-	// double billing, a clock running backwards). Empty means the run
-	// is internally consistent.
+	// double billing, a clock running backwards) plus enforce-mode SLO
+	// breaches. Empty means the run is internally consistent.
 	Violations []string `json:"violations"`
+
+	// SLOs is the per-rule outcome of the scenario's declarative SLO
+	// monitors. Absent — and the report bytes unchanged — when the
+	// scenario declares none.
+	SLOs []obs.SLOResult `json:"slo,omitempty"`
 
 	// Obs is the deterministic (SimOnly) metrics-registry snapshot of
 	// an observed run: simulated-time histograms, counters and gauges,
@@ -92,6 +97,13 @@ func (r *Report) Summary() string {
 	if r.Recovery.Acknowledged > 0 {
 		fmt.Fprintf(&b, "recovery:  %d preemptions acknowledged (mean %.0fs, max %.0fs), %d unacknowledged\n",
 			r.Recovery.Acknowledged, r.Recovery.MeanSeconds, r.Recovery.MaxSeconds, r.Recovery.Unacknowledged)
+	}
+	for _, s := range r.SLOs {
+		status := "OK"
+		if !s.OK {
+			status = fmt.Sprintf("BREACHED %dx (worst %g)", s.Breaches, s.Worst)
+		}
+		fmt.Fprintf(&b, "slo %-24s %s [%s] — %s\n", s.Name+":", s.Expr, s.Mode, status)
 	}
 	if len(r.Violations) == 0 {
 		b.WriteString("invariants: OK\n")

@@ -61,6 +61,11 @@ func (c *Compiled) Run(stateDir string) (*Result, error) {
 	if c.met != nil {
 		opts.Metrics = c.met
 	}
+	if c.Series != nil {
+		opts.Series = c.Series
+		opts.SampleEvery = telemetrySampleEvery(sc)
+		attachBreachHooks(c.Monitors, c.trace, c.met)
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
@@ -88,6 +93,7 @@ func (c *Compiled) Run(stateDir string) (*Result, error) {
 		}
 	}
 	report := buildReport(c, points, stats)
+	report.SLOs, report.Violations = sloResults(c.Monitors, report.Violations)
 	if c.met != nil {
 		snap := c.met.Snapshot(obs.SimOnly)
 		report.Obs = &snap

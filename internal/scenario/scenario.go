@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -56,6 +57,46 @@ type Scenario struct {
 	// Checkpoint configures §4.5 checkpoint replication across failure
 	// domains (single-job mode only; requires a job topology).
 	Checkpoint CheckpointSpec
+	// Telemetry, when present, enables continuous series sampling for
+	// plain `varuna-sim run` (the exporter commands enable it
+	// regardless).
+	Telemetry *TelemetrySpec
+	// SLOs is the declarative monitor list; a non-empty list implies
+	// telemetry.
+	SLOs []SLOSpec
+}
+
+// TelemetrySpec configures continuous series sampling (the
+// `telemetry:` block).
+type TelemetrySpec struct {
+	// SampleEvery is the periodic sampling cadence (default 1m;
+	// events always sample regardless).
+	SampleEvery simtime.Duration
+	// Ring caps each series' retained points (default
+	// obs.DefaultSeriesCap).
+	Ring int
+}
+
+// SLOSpec is one declarative SLO rule (the `slos:` list): an
+// expression like "recovery-p99 < 120s" evaluated online over the
+// sampled series, with optional rolling and burn-rate windows.
+type SLOSpec struct {
+	// Name identifies the rule in reports ("" defaults to the
+	// expression's left-hand side).
+	Name string
+	// Expr is "<series>[-agg] <op> <threshold>" (obs.ParseSLOExpr).
+	Expr string
+	// Window bounds the rolling aggregation window (0 = unbounded).
+	Window simtime.Duration
+	// For is the burn window: how long a violation must persist
+	// before it breaches.
+	For simtime.Duration
+	// Mode is "warn" (default: report only) or "enforce" (a breach
+	// fails the run like an invariant violation).
+	Mode string
+	// Job scopes the rule to one fleet job (required in fleet mode,
+	// forbidden in single-job mode).
+	Job string
 }
 
 // TopologySpec arranges the job's cluster into failure domains (the
@@ -67,10 +108,23 @@ type TopologySpec struct {
 	// RacksPerZone and NodesPerRack shape the inner tiers (default 1).
 	RacksPerZone int
 	NodesPerRack int
+	// ZonesPerRegion groups zones into regions (0 = one region
+	// spanning every zone). Must divide into >= 2 regions to enable
+	// region-outage events and region-spread checkpoints.
+	ZonesPerRegion int
 }
 
 // Defined reports whether the spec names more than one failure domain.
 func (t TopologySpec) Defined() bool { return t.Zones > 1 }
+
+// Regions is the region count the spec defines (1 when flat or when
+// zones-per-region is unset).
+func (t TopologySpec) Regions() int {
+	if !t.Defined() || t.ZonesPerRegion <= 0 {
+		return 1
+	}
+	return (t.Zones + t.ZonesPerRegion - 1) / t.ZonesPerRegion
+}
 
 // CheckpointSpec configures checkpoint replication (the `checkpoint:`
 // block): every shard is written to Replicas distinct domains at the
@@ -78,7 +132,8 @@ func (t TopologySpec) Defined() bool { return t.Zones > 1 }
 type CheckpointSpec struct {
 	// Replicas is the copy count; <= 1 disables replication.
 	Replicas int
-	// Spread is the anti-affinity level: "zone" (default) or "rack".
+	// Spread is the anti-affinity level: "zone" (default), "rack" or
+	// "region".
 	Spread string
 }
 
@@ -218,14 +273,15 @@ type Event struct {
 	// At is the event instant, relative to run start.
 	At simtime.Duration
 	// Kind is one of "preempt", "straggler", "degrade", "net-degrade",
-	// "price-shock", "objective", "zone-outage", "rack-outage".
+	// "price-shock", "objective", "zone-outage", "rack-outage",
+	// "region-outage".
 	Kind string
 	// Count sizes a preemption burst (default 1).
 	Count int
 	// VM pins the victim VM id; -1 (default) picks a live VM with the
 	// victim seed.
 	VM int
-	// Domain pins the failure domain a zone-outage/rack-outage takes
+	// Domain pins the failure domain a zone/rack/region-outage takes
 	// out; -1 (default) draws a domain holding live VMs with the victim
 	// seed. Fleet mode requires an explicit domain.
 	Domain int
@@ -372,9 +428,10 @@ func Parse(data []byte) (*Scenario, error) {
 		if tn := j.child("topology"); tn != nil {
 			ts := d.section(tn, "job.topology")
 			sc.Job.Topology = TopologySpec{
-				Zones:        ts.num("zones", 0),
-				RacksPerZone: ts.num("racks-per-zone", 1),
-				NodesPerRack: ts.num("nodes-per-rack", 1),
+				Zones:          ts.num("zones", 0),
+				RacksPerZone:   ts.num("racks-per-zone", 1),
+				NodesPerRack:   ts.num("nodes-per-rack", 1),
+				ZonesPerRegion: ts.num("zones-per-region", 0),
 			}
 			ts.done()
 		}
@@ -384,7 +441,7 @@ func Parse(data []byte) (*Scenario, error) {
 			cs := d.section(cn, "checkpoint")
 			sc.Checkpoint = CheckpointSpec{
 				Replicas: cs.num("replicas", 0),
-				Spread:   cs.enum("spread", "zone", "zone", "rack"),
+				Spread:   cs.enum("spread", "zone", "zone", "rack", "region"),
 			}
 			cs.done()
 		}
@@ -447,13 +504,13 @@ func Parse(data []byte) (*Scenario, error) {
 			es := d.section(em, fmt.Sprintf("events[%d]", i))
 			ev := Event{
 				At:   es.dur("at", 0),
-				Kind: es.enum("kind", "", "preempt", "straggler", "degrade", "net-degrade", "price-shock", "objective", "zone-outage", "rack-outage"),
+				Kind: es.enum("kind", "", "preempt", "straggler", "degrade", "net-degrade", "price-shock", "objective", "zone-outage", "rack-outage", "region-outage"),
 			}
 			switch ev.Kind {
 			case "preempt":
 				ev.Count = es.num("count", 1)
 				ev.VM = es.num("vm", -1)
-			case "zone-outage", "rack-outage":
+			case "zone-outage", "rack-outage", "region-outage":
 				ev.Domain = es.num("domain", -1)
 			case "straggler", "degrade":
 				ev.VM = es.num("vm", -1)
@@ -493,6 +550,34 @@ func Parse(data []byte) (*Scenario, error) {
 		}
 		cs.done()
 	}
+
+	if tn := t.child("telemetry"); tn != nil {
+		ts := d.section(tn, "telemetry")
+		sc.Telemetry = &TelemetrySpec{
+			SampleEvery: ts.dur("sample-every", simtime.Minute),
+			Ring:        ts.num("ring", 0),
+		}
+		ts.done()
+	}
+	if sls := t.list("slos"); sls != nil {
+		for i, sn := range sls {
+			sm, ok := sn.(map[string]ynode)
+			if !ok {
+				d.errf("slos[%d]: each rule must be a map", i)
+				continue
+			}
+			ss := d.section(sm, fmt.Sprintf("slos[%d]", i))
+			sc.SLOs = append(sc.SLOs, SLOSpec{
+				Name:   ss.str("name", ""),
+				Expr:   ss.str("expr", ""),
+				Window: ss.dur("window", 0),
+				For:    ss.dur("for", 0),
+				Mode:   ss.enum("mode", "warn", "warn", "enforce"),
+				Job:    ss.str("job", ""),
+			})
+			ss.done()
+		}
+	}
 	t.done()
 
 	if d.err() == nil {
@@ -522,6 +607,7 @@ func (d *decoder) validate(sc *Scenario) {
 			d.errf("prices.mean: required and positive for a mean-reverting curve")
 		}
 	}
+	d.validateTelemetry(sc)
 	if sc.Fleet != nil {
 		d.validateFleet(sc)
 		return
@@ -548,11 +634,19 @@ func (d *decoder) validate(sc *Scenario) {
 	if topo.Zones != 0 && (topo.RacksPerZone < 1 || topo.NodesPerRack < 1) {
 		d.errf("job.topology: racks-per-zone and nodes-per-rack must be positive")
 	}
+	if topo.ZonesPerRegion < 0 || topo.ZonesPerRegion > topo.Zones {
+		d.errf("job.topology.zones-per-region: %d outside [0, zones]", topo.ZonesPerRegion)
+	} else if topo.ZonesPerRegion > 0 && !topo.Defined() {
+		d.errf("job.topology.zones-per-region: needs zones >= 2")
+	}
 	if sc.Checkpoint.Replicas < 0 {
 		d.errf("checkpoint.replicas: must be non-negative, got %d", sc.Checkpoint.Replicas)
 	}
 	if sc.Checkpoint.Replicas > 1 && !topo.Defined() {
 		d.errf("checkpoint.replicas: replication needs a job.topology block with zones >= 2")
+	}
+	if sc.Checkpoint.Spread == "region" && topo.Regions() < 2 {
+		d.errf("checkpoint.spread: \"region\" needs job.topology.zones-per-region defining >= 2 regions")
 	}
 	priced := sc.Prices.Kind != "none"
 	if sc.Run.Objective != "max-throughput" && !priced {
@@ -598,6 +692,12 @@ func (d *decoder) validate(sc *Scenario) {
 				d.errf("%s: needs a job.topology block with zones >= 2", at)
 			} else if ev.Domain >= topo.Zones*topo.RacksPerZone {
 				d.errf("%s: domain %d outside [0, zones*racks-per-zone)", at, ev.Domain)
+			}
+		case "region-outage":
+			if topo.Regions() < 2 {
+				d.errf("%s: needs job.topology.zones-per-region defining >= 2 regions", at)
+			} else if ev.Domain >= topo.Regions() {
+				d.errf("%s: domain %d outside [0, regions)", at, ev.Domain)
 			}
 		}
 	}
@@ -698,6 +798,85 @@ func (d *decoder) validateFleet(sc *Scenario) {
 			d.errf("%s: fleet mode supports only preempt, price-shock and zone-outage events", at)
 		}
 	}
+}
+
+// sloSeries is the whitelist of series base names the manager samples
+// (per-job in fleet mode). An SLO expression's left-hand side must
+// resolve to one of these after the aggregate suffix is stripped.
+var sloSeries = map[string]bool{
+	"gpus":              true,
+	"throughput":        true,
+	"dollars":           true,
+	"dollars-per-kex":   true,
+	"downtime-fraction": true,
+	"idle-fraction":     true,
+	"recovery":          true,
+}
+
+// validateTelemetry cross-checks the telemetry and slos blocks, which
+// are shared between single-job and fleet modes.
+func (d *decoder) validateTelemetry(sc *Scenario) {
+	if ts := sc.Telemetry; ts != nil {
+		if ts.SampleEvery < simtime.Second {
+			d.errf("telemetry.sample-every: must be >= 1s, got %v", ts.SampleEvery)
+		}
+		if ts.Ring < 0 {
+			d.errf("telemetry.ring: must be non-negative, got %d", ts.Ring)
+		}
+	}
+	priced := sc.Prices.Kind != "none"
+	jobs := map[string]bool{}
+	for _, j := range sc.Jobs {
+		jobs[j.Name] = true
+	}
+	names := map[string]bool{}
+	for i, sl := range sc.SLOs {
+		at := fmt.Sprintf("slos[%d]", i)
+		if sl.Expr == "" {
+			d.errf("%s.expr: required", at)
+			continue
+		}
+		series, _, _, _, err := obs.ParseSLOExpr(sl.Expr)
+		if err != nil {
+			d.errf("%s.expr: %v", at, err)
+			continue
+		}
+		if !sloSeries[series] {
+			d.errf("%s.expr: unknown series %q (known: dollars, dollars-per-kex, downtime-fraction, gpus, idle-fraction, recovery, throughput)", at, series)
+		}
+		if (series == "dollars" || series == "dollars-per-kex") && !priced {
+			d.errf("%s.expr: series %q needs a prices block", at, series)
+		}
+		name := sl.EffectiveName()
+		if names[name] {
+			d.errf("%s: duplicate rule name %q", at, name)
+		}
+		names[name] = true
+		if sl.Window < 0 || sl.For < 0 {
+			d.errf("%s: window and for must be non-negative", at)
+		}
+		if sc.Fleet == nil {
+			if sl.Job != "" {
+				d.errf("%s.job: only valid in fleet mode", at)
+			}
+		} else if sl.Job == "" {
+			d.errf("%s.job: required in fleet mode (series are per-job)", at)
+		} else if !jobs[sl.Job] {
+			d.errf("%s.job: no job named %q", at, sl.Job)
+		}
+	}
+}
+
+// EffectiveName is the rule's report name: Name, defaulting to the
+// expression's left-hand side (e.g. "recovery-p99").
+func (s SLOSpec) EffectiveName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if f := strings.Fields(s.Expr); len(f) > 0 {
+		return f[0]
+	}
+	return s.Expr
 }
 
 // decoder accumulates strict-decode errors across sections.

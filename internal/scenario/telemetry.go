@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// telemetryDeclared reports whether the scenario asks for continuous
+// sampling: an explicit telemetry block, or any SLO rule (monitors
+// need the series to watch).
+func telemetryDeclared(sc *Scenario) bool {
+	return sc.Telemetry != nil || len(sc.SLOs) > 0
+}
+
+// telemetryRing is the configured per-series ring capacity (0 = the
+// obs default).
+func telemetryRing(sc *Scenario) int {
+	if sc.Telemetry != nil {
+		return sc.Telemetry.Ring
+	}
+	return 0
+}
+
+// telemetrySampleEvery is the configured sampling cadence (0 = the
+// manager default).
+func telemetrySampleEvery(sc *Scenario) simtime.Duration {
+	if sc.Telemetry != nil {
+		return sc.Telemetry.SampleEvery
+	}
+	return 0
+}
+
+// buildMonitors compiles the scenario's SLO rules into online
+// evaluators watching ss. In fleet mode each rule watches its job's
+// prefixed series ("<job>/<series>"). Expressions were validated at
+// parse time, so a parse failure here is a programming error.
+func buildMonitors(sc *Scenario, ss *obs.SeriesSet) []*obs.Monitor {
+	var ms []*obs.Monitor
+	for _, sl := range sc.SLOs {
+		series, agg, op, th, err := obs.ParseSLOExpr(sl.Expr)
+		if err != nil {
+			panic(fmt.Sprintf("scenario %s: unvalidated SLO %q: %v", sc.Name, sl.Expr, err))
+		}
+		if sl.Job != "" {
+			series = sl.Job + "/" + series
+		}
+		m := &obs.Monitor{
+			Name:      sl.EffectiveName(),
+			Expr:      sl.Expr,
+			Series:    series,
+			Agg:       agg,
+			Op:        op,
+			Threshold: th,
+			Window:    sl.Window,
+			For:       sl.For,
+			Enforce:   sl.Mode == "enforce",
+			Job:       sl.Job,
+		}
+		ss.Watch(series, m.Observe)
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// attachBreachHooks wires each monitor's OnBreach to the run's
+// observability sinks: a typed breach counter and an instant on a
+// lazily-created "slo" trace track (created on first breach, so
+// breach-free traces keep their exact track layout). Nil-safe in both
+// sinks.
+func attachBreachHooks(monitors []*obs.Monitor, tr *obs.Tracer, met *obs.Metrics) {
+	if len(monitors) == 0 || (tr == nil && met == nil) {
+		return
+	}
+	var trk obs.TrackID
+	haveTrk := false
+	for _, m := range monitors {
+		m := m
+		m.OnBreach = func(at simtime.Time, v float64) {
+			met.Count("slo.breach."+m.Name, 1)
+			if tr.Enabled() {
+				if !haveTrk {
+					trk = tr.Track("slo")
+					haveTrk = true
+				}
+				id := tr.Instant(trk, 0, at, "slo", m.Name)
+				tr.SetArgs(id,
+					obs.Str("expr", m.Expr),
+					obs.Str("value", strconv.FormatFloat(v, 'g', -1, 64)))
+			}
+		}
+	}
+}
+
+// sloResults collects every monitor's outcome and appends enforce-mode
+// breaches to violations (the existing nonzero-exit path), returning
+// the report section and the augmented violation list.
+func sloResults(monitors []*obs.Monitor, violations []string) ([]obs.SLOResult, []string) {
+	if len(monitors) == 0 {
+		return nil, violations
+	}
+	var out []obs.SLOResult
+	for _, m := range monitors {
+		r := m.Result()
+		out = append(out, r)
+		if m.Enforce && !r.OK {
+			violations = append(violations, fmt.Sprintf(
+				"slo %s (%q) breached %d time(s), worst %g", r.Name, m.Expr, r.Breaches, r.Worst))
+		}
+	}
+	return out, violations
+}
